@@ -1,0 +1,100 @@
+// Command bercurve evaluates the BER(t) trajectory of one configured
+// memory system through the paper's Markov models and prints it as a
+// TSV table or an ASCII plot.
+//
+// Examples:
+//
+//	bercurve -arrangement duplex -n 18 -k 16 -seu 1.7e-5 -scrub 900 -hours 48
+//	bercurve -arrangement simplex -n 36 -k 16 -perm 1e-7 -months 24 -plot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/reliability"
+	"repro/internal/textplot"
+)
+
+func main() {
+	var (
+		arrangement = flag.String("arrangement", "simplex", "memory arrangement: simplex or duplex")
+		n           = flag.Int("n", 18, "codeword symbols")
+		k           = flag.Int("k", 16, "dataword symbols")
+		m           = flag.Int("m", 8, "bits per symbol")
+		seu         = flag.Float64("seu", 0, "SEU rate per bit per day")
+		perm        = flag.Float64("perm", 0, "permanent fault rate per symbol per day")
+		scrubSec    = flag.Float64("scrub", 0, "scrubbing period in seconds (0 = off)")
+		hours       = flag.Float64("hours", 0, "storage horizon in hours")
+		months      = flag.Float64("months", 0, "storage horizon in months (overrides -hours)")
+		points      = flag.Int("points", 13, "number of evaluation points")
+		plot        = flag.Bool("plot", false, "render an ASCII plot instead of TSV")
+	)
+	flag.Parse()
+
+	var arr core.Arrangement
+	switch *arrangement {
+	case "simplex":
+		arr = core.Simplex
+	case "duplex":
+		arr = core.Duplex
+	default:
+		fmt.Fprintf(os.Stderr, "bercurve: unknown arrangement %q\n", *arrangement)
+		os.Exit(2)
+	}
+
+	horizon := *hours
+	xLabel := "hours"
+	if *months > 0 {
+		horizon = reliability.Months(*months)
+		xLabel = "months"
+	}
+	if horizon <= 0 {
+		fmt.Fprintln(os.Stderr, "bercurve: set a horizon with -hours or -months")
+		os.Exit(2)
+	}
+	grid, err := reliability.HoursRange(0, horizon, *points)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bercurve: %v\n", err)
+		os.Exit(2)
+	}
+
+	cfg := core.Config{
+		Arrangement:         arr,
+		Code:                core.CodeSpec{N: *n, K: *k, M: *m},
+		SEUPerBitDay:        *seu,
+		ErasurePerSymbolDay: *perm,
+		ScrubPeriodSeconds:  *scrubSec,
+	}
+	curve, err := core.Evaluate(cfg, grid)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bercurve: %v\n", err)
+		os.Exit(1)
+	}
+
+	x := grid
+	if xLabel == "months" {
+		x = make([]float64, len(grid))
+		for i, h := range grid {
+			x[i] = h / reliability.HoursPerMonth
+		}
+	}
+	series := []textplot.Series{{Label: cfg.String(), X: x, Y: curve.BER}}
+	if *plot {
+		p := textplot.Plot{
+			Title:  cfg.String(),
+			XLabel: xLabel,
+			YLabel: "BER",
+			LogY:   true,
+			Series: series,
+		}
+		fmt.Print(p.Render())
+		return
+	}
+	if err := textplot.WriteTSV(os.Stdout, xLabel, series); err != nil {
+		fmt.Fprintf(os.Stderr, "bercurve: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,96 @@
+// Command sweep regenerates the paper's evaluation artifacts —
+// Figures 5-10, the Section 6 decoder cost comparison and the
+// model-vs-simulation cross-validation — from the experiment registry
+// in internal/expdata.
+//
+// Usage:
+//
+//	sweep                 # run every experiment, print ASCII plots
+//	sweep -exp fig7       # run one experiment
+//	sweep -out results/   # additionally write <id>.tsv and <id>.txt
+//	sweep -list           # list experiment IDs and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/expdata"
+	"repro/internal/textplot"
+)
+
+func main() {
+	var (
+		expID  = flag.String("exp", "", "run a single experiment by ID (default: all)")
+		outDir = flag.String("out", "", "directory for TSV tables and rendered plots")
+		list   = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range expdata.All() {
+			fmt.Printf("%-9s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	experiments := expdata.All()
+	if *expID != "" {
+		e, ok := expdata.ByID(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "sweep: unknown experiment %q (use -list)\n", *expID)
+			os.Exit(2)
+		}
+		experiments = []expdata.Experiment{e}
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	for _, e := range experiments {
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		fmt.Println(e.Description)
+		res, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		rendered := res.Plot(e.Title).Render()
+		fmt.Println(rendered)
+		for _, note := range res.Notes {
+			fmt.Printf("  note: %s\n", note)
+		}
+		fmt.Println()
+
+		if *outDir != "" {
+			if err := writeArtifacts(*outDir, e.ID, res, rendered); err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func writeArtifacts(dir, id string, res *expdata.Result, rendered string) error {
+	tsv, err := os.Create(filepath.Join(dir, id+".tsv"))
+	if err != nil {
+		return err
+	}
+	defer tsv.Close()
+	if err := textplot.WriteTSV(tsv, res.XLabel, res.Series); err != nil {
+		return err
+	}
+
+	var b strings.Builder
+	b.WriteString(rendered)
+	for _, note := range res.Notes {
+		fmt.Fprintf(&b, "note: %s\n", note)
+	}
+	return os.WriteFile(filepath.Join(dir, id+".txt"), []byte(b.String()), 0o644)
+}

@@ -1,0 +1,91 @@
+// Command tradeoff sweeps Reed-Solomon redundancy and arrangement to
+// produce the design-space table behind the paper's Section 6
+// discussion: for each candidate, the word BER at the mission
+// horizon, the mean time to data loss, the decoder latency and area,
+// and the storage overhead. The paper's three designs — simplex
+// RS(18,16), duplex RS(18,16) and simplex RS(36,16) — appear as rows
+// of the sweep.
+//
+// Example:
+//
+//	tradeoff -seu 1.7e-5 -perm 1e-7 -hours 48 -scrub 3600 -max-red 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/complexity"
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		k       = flag.Int("k", 16, "dataword symbols")
+		m       = flag.Int("m", 8, "bits per symbol")
+		seu     = flag.Float64("seu", 1.7e-5, "SEU rate per bit per day")
+		perm    = flag.Float64("perm", 1e-7, "permanent fault rate per symbol per day")
+		scrub   = flag.Float64("scrub", 3600, "scrub period in seconds (0 = off)")
+		hours   = flag.Float64("hours", 48, "mission horizon in hours for the BER column")
+		maxRed  = flag.Int("max-red", 20, "maximum redundancy n-k to sweep (even steps)")
+		duplexD = flag.Int("duplex-max-red", 8, "maximum n-k for duplex rows (state space grows fast)")
+	)
+	flag.Parse()
+
+	fmt.Printf("design space for k=%d data symbols (m=%d), lambda=%g/bit/day, lambdaE=%g/sym/day, Tsc=%gs, horizon %gh\n\n",
+		*k, *m, *seu, *perm, *scrub, *hours)
+	fmt.Printf("%-22s %12s %14s %10s %8s %9s\n",
+		"arrangement", "BER(h)", "MTTDL(h)", "Td cycles", "gates", "overhead")
+
+	emit := func(arr core.Arrangement, red int) {
+		n := *k + red
+		cfg := core.Config{
+			Arrangement:         arr,
+			Code:                core.CodeSpec{N: n, K: *k, M: *m},
+			SEUPerBitDay:        *seu,
+			ErasurePerSymbolDay: *perm,
+			ScrubPeriodSeconds:  *scrub,
+		}
+		curve, err := core.Evaluate(cfg, []float64{*hours})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tradeoff: %v: %v\n", cfg, err)
+			return
+		}
+		mttdl, err := core.MTTDL(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tradeoff: %v: %v\n", cfg, err)
+			return
+		}
+		var cost complexity.ArrangementCost
+		if arr == core.Simplex {
+			cost, err = complexity.SimplexCost(n, *k, *m)
+		} else {
+			cost, err = complexity.DuplexCost(n, *k, *m)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tradeoff: %v\n", err)
+			return
+		}
+		overhead := float64(n) / float64(*k)
+		if arr == core.Duplex {
+			overhead *= 2
+		}
+		mttdlStr := fmt.Sprintf("%14.3e", mttdl)
+		if math.IsInf(mttdl, 1) {
+			mttdlStr = fmt.Sprintf("%14s", "inf")
+		}
+		fmt.Printf("%-22s %12.3e %s %10d %8.0f %8.2fx\n",
+			fmt.Sprintf("%s RS(%d,%d)", arr, n, *k),
+			curve.BER[0], mttdlStr, cost.DecodeCycles, cost.TotalGates, overhead)
+	}
+
+	for red := 2; red <= *maxRed; red += 2 {
+		emit(core.Simplex, red)
+	}
+	fmt.Println()
+	for red := 2; red <= *duplexD; red += 2 {
+		emit(core.Duplex, red)
+	}
+}

@@ -1,0 +1,23 @@
+// Package repro reproduces "On the Analysis of Reed Solomon Coding
+// for Resilience to Transient/Permanent Faults in Highly Reliable
+// Memories" (Schiano, Ottavi, Lombardi, Pontarelli, Salsano, DATE
+// 2005) as a production-quality Go library.
+//
+// The implementation lives under internal/: the Reed-Solomon codec
+// and its field/polynomial substrates (gf, gfpoly, rs), the CTMC
+// engine standing in for the paper's SURE solver (markov), the two
+// memory-system models (simplex, duplex), the top-level BER analysis
+// API (core), the duplex arbiter and Monte Carlo fault-injection
+// simulator (arbiter, scrub, memsim), the Section 6 cost models
+// (complexity), rate/unit conventions (reliability), terminal plotting
+// (textplot), and the experiment registry regenerating every paper
+// figure (expdata).
+//
+// The benchmarks in this root package drive the registry: one
+// benchmark per paper figure and table, plus ablations over the
+// modeling decisions documented in DESIGN.md. Run
+//
+//	go test -bench=. -benchmem
+//
+// to regenerate everything, or use cmd/sweep for human-readable plots.
+package repro

@@ -1,0 +1,210 @@
+// Package arbiter implements the duplex decision circuit of paper
+// Section 3 (Figure 1): erasure recovery across the two replicated
+// modules, independent Reed-Solomon decoding of both words, and the
+// flag-and-compare output selection that distinguishes corrections
+// from mis-corrections.
+//
+// The arbiter is the paper's hard-core component: it is assumed
+// fault-free, and the simulator keeps it that way.
+package arbiter
+
+import (
+	"fmt"
+
+	"repro/internal/gf"
+	"repro/internal/rs"
+)
+
+// Verdict classifies the arbiter's decision for observability in
+// tests and the simulator.
+type Verdict int
+
+const (
+	// NoError: neither decoder corrected anything; words agree.
+	NoError Verdict = iota
+	// CorrectedAgree: at least one flag set but the decoded words
+	// agree — the correction is trusted.
+	CorrectedAgree
+	// FlagResolved: the words differ and exactly one flag is set; the
+	// unflagged word is output (the flagged one mis-corrected).
+	FlagResolved
+	// OneWordFailed: one decoder reported a detected failure; the
+	// other word is output.
+	OneWordFailed
+	// BothFlaggedDiffer: both flags set and the words differ — the
+	// arbiter cannot discriminate and provides no output.
+	BothFlaggedDiffer
+	// DifferNoFlags: the words differ yet neither decoder corrected
+	// anything (two distinct valid codewords): no basis to choose,
+	// no output. Requires a corruption that crossed the full code
+	// distance; the paper neglects it, the simulator counts it.
+	DifferNoFlags
+	// BothFailed: both decoders reported detected failures.
+	BothFailed
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case NoError:
+		return "no-error"
+	case CorrectedAgree:
+		return "corrected-agree"
+	case FlagResolved:
+		return "flag-resolved"
+	case OneWordFailed:
+		return "one-word-failed"
+	case BothFlaggedDiffer:
+		return "both-flagged-differ"
+	case DifferNoFlags:
+		return "differ-no-flags"
+	case BothFailed:
+		return "both-failed"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// Result is the arbiter's output for one read.
+type Result struct {
+	// OK reports whether an output word was provided.
+	OK bool
+	// Data is the k-symbol output dataword when OK.
+	Data []gf.Elem
+	// Verdict classifies the decision path taken.
+	Verdict Verdict
+	// MaskedErasures counts single-module erasures recovered by
+	// copying the twin symbol (the paper's Y positions).
+	MaskedErasures int
+	// SharedErasures counts positions erased in both modules (the
+	// paper's X positions), passed to both decoders as erasures.
+	SharedErasures int
+	// Flag1, Flag2 are the per-word correction flags.
+	Flag1, Flag2 bool
+}
+
+// Arbiter decodes replicated word pairs for a fixed code.
+type Arbiter struct {
+	code *rs.Code
+}
+
+// New returns an arbiter for the given code.
+func New(code *rs.Code) (*Arbiter, error) {
+	if code == nil {
+		return nil, fmt.Errorf("arbiter: nil code")
+	}
+	return &Arbiter{code: code}, nil
+}
+
+// Read performs the full arbiter operation of paper Section 3 on the
+// two stored words and their located-erasure sets (symbol indices per
+// module).
+//
+// Step 1 — erasure recovery: a position erased in exactly one module
+// is replaced by the twin module's symbol (which may itself carry an
+// undetected random error: that is the paper's b class). Positions
+// erased in both modules stay erasures for both decoders.
+//
+// Step 2 — both repaired words are decoded independently; a completed
+// correction sets that word's flag.
+//
+// Step 3 — flag-and-compare selection per the paper's four rules.
+func (a *Arbiter) Read(word1, word2 []gf.Elem, erasures1, erasures2 []int) (*Result, error) {
+	n := a.code.N()
+	if len(word1) != n || len(word2) != n {
+		return nil, fmt.Errorf("arbiter: words have %d/%d symbols, want n=%d", len(word1), len(word2), n)
+	}
+	e1, err := erasureSet(erasures1, n)
+	if err != nil {
+		return nil, err
+	}
+	e2, err := erasureSet(erasures2, n)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+	w1 := append([]gf.Elem(nil), word1...)
+	w2 := append([]gf.Elem(nil), word2...)
+	var shared []int
+	for i := 0; i < n; i++ {
+		switch {
+		case e1[i] && e2[i]:
+			shared = append(shared, i)
+		case e1[i]:
+			w1[i] = w2[i]
+			res.MaskedErasures++
+		case e2[i]:
+			w2[i] = w1[i]
+			res.MaskedErasures++
+		}
+	}
+	res.SharedErasures = len(shared)
+
+	r1, err1 := a.code.Decode(w1, shared)
+	r2, err2 := a.code.Decode(w2, shared)
+
+	switch {
+	case err1 != nil && err2 != nil:
+		res.Verdict = BothFailed
+		return res, nil
+	case err1 != nil:
+		res.OK = true
+		res.Data = r2.Data
+		res.Flag2 = r2.Flag
+		res.Verdict = OneWordFailed
+		return res, nil
+	case err2 != nil:
+		res.OK = true
+		res.Data = r1.Data
+		res.Flag1 = r1.Flag
+		res.Verdict = OneWordFailed
+		return res, nil
+	}
+
+	res.Flag1, res.Flag2 = r1.Flag, r2.Flag
+	equal := wordsEqual(r1.Codeword, r2.Codeword)
+	switch {
+	case !r1.Flag && !r2.Flag && equal:
+		res.OK = true
+		res.Data = r1.Data
+		res.Verdict = NoError
+	case equal:
+		res.OK = true
+		res.Data = r1.Data
+		res.Verdict = CorrectedAgree
+	case r1.Flag && r2.Flag:
+		res.Verdict = BothFlaggedDiffer
+	case r1.Flag:
+		res.OK = true
+		res.Data = r2.Data
+		res.Verdict = FlagResolved
+	case r2.Flag:
+		res.OK = true
+		res.Data = r1.Data
+		res.Verdict = FlagResolved
+	default:
+		res.Verdict = DifferNoFlags
+	}
+	return res, nil
+}
+
+func erasureSet(positions []int, n int) ([]bool, error) {
+	set := make([]bool, n)
+	for _, p := range positions {
+		if p < 0 || p >= n {
+			return nil, fmt.Errorf("arbiter: erasure position %d out of range [0,%d)", p, n)
+		}
+		set[p] = true
+	}
+	return set, nil
+}
+
+func wordsEqual(a, b []gf.Elem) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,39 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ExampleEvaluate reproduces the paper's Figure 7 conclusion: the
+// duplex RS(18,16) system under the worst-case SEU environment stays
+// below BER 1e-6 with hourly scrubbing.
+func ExampleEvaluate() {
+	cfg := core.Config{
+		Arrangement:        core.Duplex,
+		Code:               core.RS1816,
+		SEUPerBitDay:       1.7e-5,
+		ScrubPeriodSeconds: 3600,
+	}
+	curve, err := core.Evaluate(cfg, []float64{48})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("BER(48h) below 1e-6: %v\n", curve.BER[0] < 1e-6)
+
+	// Output:
+	// BER(48h) below 1e-6: true
+}
+
+// ExampleBERFromFailProbability shows the paper's Eq. (1) prefactor:
+// for RS(18,16) with byte symbols it is exactly 1.
+func ExampleBERFromFailProbability() {
+	fmt.Println(core.BERFromFailProbability(core.RS1816, 0.25))
+	fmt.Println(core.BERFromFailProbability(core.RS3616, 0.25))
+
+	// Output:
+	// 0.25
+	// 2.5
+}

@@ -1,0 +1,311 @@
+package expdata
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "tbl-td", "tbl-area", "xval", "ext-baselines", "ext-array", "ext-mbu"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Errorf("experiment %d: ID = %q, want %q", i, all[i].ID, id)
+		}
+		if all[i].Title == "" || all[i].Description == "" || all[i].Run == nil {
+			t.Errorf("experiment %q incomplete", all[i].ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, ok := ByID("fig7")
+	if !ok || e.ID != "fig7" {
+		t.Error("ByID(fig7) failed")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID(nope) succeeded")
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	res, err := mustRun(t, "fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 3 {
+		t.Fatalf("fig5 has %d series, want 3", len(res.Series))
+	}
+	last := len(res.Series[0].Y) - 1
+	// Curves are ordered by increasing SEU rate: BER must increase.
+	if !(res.Series[0].Y[last] < res.Series[1].Y[last] && res.Series[1].Y[last] < res.Series[2].Y[last]) {
+		t.Error("fig5 curves not ordered by SEU rate")
+	}
+	// Paper anchors: worst case ~1.1e-5 at 48h, quiet case ~2e-8.
+	if w := res.Series[2].Y[last]; w < 5e-6 || w > 5e-5 {
+		t.Errorf("fig5 worst-case BER(48h) = %g outside paper band", w)
+	}
+	if q := res.Series[0].Y[last]; q < 5e-9 || q > 1e-7 {
+		t.Errorf("fig5 quiet-case BER(48h) = %g outside paper band", q)
+	}
+	// Log-log slope ~2 for the two-SEU failure mode: BER(48h)/BER(24h) ~ 4.
+	mid := last / 2
+	slope := res.Series[2].Y[last] / res.Series[2].Y[mid]
+	if slope < 3 || slope > 5 {
+		t.Errorf("fig5 quadratic growth broken: BER(48)/BER(24) = %g, want ~4", slope)
+	}
+}
+
+func TestFig6SameRangeAsFig5(t *testing.T) {
+	res, err := mustRun(t, "fig6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f5, err := mustRun(t, "fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(res.Series[2].Y) - 1
+	ratio := res.Series[2].Y[last] / f5.Series[2].Y[last]
+	// "Same range": within a small constant factor (we measure ~2x).
+	if ratio < 1 || ratio > 4 {
+		t.Errorf("duplex/simplex BER ratio = %g, paper says same range", ratio)
+	}
+}
+
+func TestFig7ScrubConclusion(t *testing.T) {
+	res, err := mustRun(t, "fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 4 {
+		t.Fatalf("fig7 has %d series, want 4 scrub periods", len(res.Series))
+	}
+	last := len(res.Series[0].Y) - 1
+	// Faster scrubbing (earlier series) => lower BER.
+	for i := 1; i < 4; i++ {
+		if res.Series[i-1].Y[last] >= res.Series[i].Y[last] {
+			t.Errorf("fig7 ordering broken between Tsc series %d and %d", i-1, i)
+		}
+	}
+	// The paper's headline: Tsc = 3600 s keeps BER below 1e-6.
+	if w := res.Series[3].Y[last]; w >= 1e-6 {
+		t.Errorf("fig7 BER(48h, Tsc=3600s) = %g, want < 1e-6", w)
+	}
+	// And the whole plot lives in the 1e-9..1e-6 window like the paper axis.
+	if lo := res.Series[0].Y[last]; lo < 1e-9 || lo > 1e-6 {
+		t.Errorf("fig7 fastest-scrub BER(48h) = %g outside paper axis band", lo)
+	}
+}
+
+func TestFig8to10OrderingAndMagnitudes(t *testing.T) {
+	f8r, err := mustRun(t, "fig8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f9r, err := mustRun(t, "fig9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f10r, err := mustRun(t, "fig10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(f8r.Series[0].Y) - 1
+	for i := range f8r.Series {
+		s, d, w := f8r.Series[i].Y[last], f9r.Series[i].Y[last], f10r.Series[i].Y[last]
+		if !(s > d) {
+			t.Errorf("rate %d: simplex %g not worse than duplex %g", i, s, d)
+		}
+		// RS(36,16) may underflow to exactly 0 at the lowest rates —
+		// the paper plots it at 1e-200, below float64 range.
+		if w != 0 && !(d > w) {
+			t.Errorf("rate %d: duplex %g not worse than RS(36,16) %g", i, d, w)
+		}
+	}
+	// Paper axis anchors at 24 months: fig8 top curve within a decade
+	// of 1e-1; fig9 top within decades of 1e-5; fig10 top far below.
+	if top := f8r.Series[0].Y[last]; top < 1e-2 || top > 1 {
+		t.Errorf("fig8 top curve = %g, want ~1e-1", top)
+	}
+	if top := f9r.Series[0].Y[last]; top < 1e-7 || top > 1e-3 {
+		t.Errorf("fig9 top curve = %g, want ~1e-5", top)
+	}
+	if top := f10r.Series[0].Y[last]; top > 1e-8 {
+		t.Errorf("fig10 top curve = %g, want far below fig9", top)
+	}
+	// fig10's slope: the wide code needs 21 erasures, so the BER
+	// spread across rates must be gigantic (paper axis spans 200
+	// decades). Compare top (1e-4) against the 1e-7 mid curve.
+	mid := f10r.Series[3].Y[last]
+	if mid != 0 && f10r.Series[0].Y[last]/mid < 1e20 {
+		t.Errorf("fig10 spread top/mid = %g, want > 1e20", f10r.Series[0].Y[last]/mid)
+	}
+}
+
+func TestTableTd(t *testing.T) {
+	res, err := mustRun(t, "tbl-td")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 1 || len(res.Series[0].Y) != 3 {
+		t.Fatal("tbl-td shape wrong")
+	}
+	y := res.Series[0].Y
+	if y[0] != 74 || y[1] != 74 || y[2] != 308 {
+		t.Errorf("cycles = %v, want [74 74 308]", y)
+	}
+	joined := strings.Join(res.Notes, "\n")
+	if !strings.Contains(joined, "4.16x") {
+		t.Errorf("notes missing the 308/74 = 4.16x ratio: %s", joined)
+	}
+}
+
+func TestTableArea(t *testing.T) {
+	res, err := mustRun(t, "tbl-area")
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := res.Series[0].Y
+	if !(y[1] < y[2]) {
+		t.Errorf("two RS(18,16) decoders (%g) should be smaller than one RS(36,16) (%g)", y[1], y[2])
+	}
+	if y[1] != 2*y[0] {
+		t.Errorf("duplex gates %g != 2x simplex %g", y[1], y[0])
+	}
+}
+
+func TestResultPlot(t *testing.T) {
+	res, err := mustRun(t, "tbl-td")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Plot("decoder latency").Render()
+	if !strings.Contains(out, "decoder latency") {
+		t.Error("plot title missing")
+	}
+}
+
+func TestExtBaselines(t *testing.T) {
+	res, err := mustRun(t, "ext-baselines")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 4 {
+		t.Fatalf("ext-baselines has %d series, want 4", len(res.Series))
+	}
+	last := len(res.Series[0].Y) - 1
+	simplexRS := res.Series[0].Y[last]
+	duplexRS := res.Series[1].Y[last]
+	secded := res.Series[2].Y[last]
+	tmrP := res.Series[3].Y[last]
+	// Under independent single-bit SEUs at these overheads: TMR (3x)
+	// best, then 4x SEC-DED, then the RS arrangements; duplex RS ~ 2x
+	// simplex RS (no permanent-fault pressure at this rate/horizon).
+	if !(tmrP < secded && secded < simplexRS && simplexRS < duplexRS) {
+		t.Errorf("ordering broken: tmr=%g secded=%g simplexRS=%g duplexRS=%g",
+			tmrP, secded, simplexRS, duplexRS)
+	}
+	for _, s := range res.Series {
+		if s.Y[last] <= 0 || s.Y[last] > 1e-3 {
+			t.Errorf("series %q end point %g outside plausible band", s.Label, s.Y[last])
+		}
+	}
+}
+
+func TestExtArray(t *testing.T) {
+	res, err := mustRun(t, "ext-array")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 3 {
+		t.Fatalf("ext-array has %d series, want 3", len(res.Series))
+	}
+	last := len(res.Series[0].Y) - 1
+	s18 := res.Series[0].Y[last]
+	d18 := res.Series[1].Y[last]
+	s36 := res.Series[2].Y[last]
+	if !(s18 > d18 && d18 > s36) {
+		t.Errorf("array-level ordering broken: %g %g %g", s18, d18, s36)
+	}
+	// The 2^26-word memory amplifies word-level probabilities by ~2^26
+	// in the small-p regime.
+	if s18 < 1e-3 {
+		t.Errorf("1 GiB simplex memory at lambdaE=1e-7 should be visibly at risk, got %g", s18)
+	}
+	if d18 == 0 || s36 == 0 {
+		t.Error("tiny array-level probabilities truncated to zero")
+	}
+}
+
+func TestXValAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo campaign")
+	}
+	res, err := mustRun(t, "xval")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("xval has %d series, want chain + Monte Carlo", len(res.Series))
+	}
+	for _, note := range res.Notes {
+		if strings.Contains(note, "DISAGREE") {
+			t.Errorf("cross-validation disagreement: %s", note)
+		}
+	}
+	chain, mc := res.Series[0].Y, res.Series[1].Y
+	for i := range chain {
+		if chain[i] <= 0 || mc[i] <= 0 {
+			t.Errorf("case %d: degenerate probabilities %g/%g", i, chain[i], mc[i])
+		}
+	}
+}
+
+func TestExtMBU(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo sweep")
+	}
+	res, err := mustRun(t, "ext-mbu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 5 {
+		t.Fatalf("ext-mbu has %d series, want 5", len(res.Series))
+	}
+	var rs20, secded []float64
+	for _, s := range res.Series {
+		switch s.Label {
+		case "RS(20,16)":
+			rs20 = s.Y
+		case "4x SEC-DED(39,32)":
+			secded = s.Y
+		}
+	}
+	if rs20 == nil || secded == nil {
+		t.Fatal("expected systems missing")
+	}
+	last := len(rs20) - 1
+	// The story: comparable at 1-bit events, RS far ahead at 8-bit
+	// bursts.
+	if !(rs20[last] < secded[last]/2) {
+		t.Errorf("8-bit bursts: RS(20,16) %g not well below SEC-DED %g", rs20[last], secded[last])
+	}
+	if ratio := secded[0] / rs20[0]; ratio > 3 {
+		t.Errorf("1-bit events should be comparable, got SEC-DED/RS ratio %g", ratio)
+	}
+}
+
+// mustRun runs one registered experiment. The heavyweight xval
+// experiment is exercised by the root-level bench harness instead.
+func mustRun(t *testing.T, id string) (*Result, error) {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %q not registered", id)
+	}
+	return e.Run()
+}

@@ -1,0 +1,251 @@
+// Package gf implements arithmetic over the finite fields GF(2^m) for
+// 2 <= m <= 16.
+//
+// A field is described by a primitive polynomial p(x) of degree m over
+// GF(2); elements are the residues of binary polynomials modulo p(x),
+// represented as the unsigned integers 0 .. 2^m-1 whose bit i is the
+// coefficient of x^i. Addition is bitwise XOR; multiplication is
+// carried out through logarithm/antilogarithm tables indexed by the
+// powers of the primitive element alpha = x.
+//
+// The package is the arithmetic substrate for the Reed-Solomon codec
+// in internal/rs, which in turn underpins the fault-tolerant memory
+// systems analyzed by the DATE'05 paper reproduced by this repository.
+// Symbol widths used there are m = 8 (byte-organized memories), but
+// the full range is supported and tested so other memory organizations
+// can be explored.
+package gf
+
+import "fmt"
+
+// Elem is an element of a GF(2^m) field, valid in the range
+// 0 .. 2^m-1 for the field it belongs to. Elements are plain values;
+// all arithmetic is provided by the Field that created them.
+type Elem uint16
+
+// MaxM and MinM bound the supported field extensions. GF(2^16) tables
+// occupy 512 KiB which is still comfortably cacheable; larger fields
+// are outside the scope of memory-symbol coding.
+const (
+	MinM = 2
+	MaxM = 16
+)
+
+// defaultPoly lists a conventional primitive polynomial for each
+// supported m (index = m). The values are the standard polynomials
+// used by CCSDS/DVB-style codecs; e.g. 0x11d is
+// x^8 + x^4 + x^3 + x^2 + 1 for GF(256).
+var defaultPoly = [MaxM + 1]uint32{
+	2:  0x7,
+	3:  0xb,
+	4:  0x13,
+	5:  0x25,
+	6:  0x43,
+	7:  0x89,
+	8:  0x11d,
+	9:  0x211,
+	10: 0x409,
+	11: 0x805,
+	12: 0x1053,
+	13: 0x201b,
+	14: 0x4443,
+	15: 0x8003,
+	16: 0x1100b,
+}
+
+// Field holds the precomputed log/antilog tables for one GF(2^m).
+// A Field is immutable after construction and safe for concurrent use.
+type Field struct {
+	m    int    // extension degree
+	size int    // 2^m, number of elements
+	n    int    // 2^m - 1, order of the multiplicative group
+	poly uint32 // primitive polynomial including the x^m term
+
+	// exp[i] = alpha^i for i in 0 .. 2n-1 (doubled so products of two
+	// logarithms index without an explicit modulo reduction).
+	exp []Elem
+	// log[e] = i such that alpha^i = e, for e in 1 .. n. log[0] is a
+	// sentinel that is never read by valid code paths.
+	log []uint16
+}
+
+// NewField returns the field GF(2^m) built from the package's default
+// primitive polynomial for that m.
+func NewField(m int) (*Field, error) {
+	if m < MinM || m > MaxM {
+		return nil, fmt.Errorf("gf: unsupported extension degree m=%d (want %d..%d)", m, MinM, MaxM)
+	}
+	return NewFieldPoly(m, defaultPoly[m])
+}
+
+// MustField is NewField for static configuration; it panics on error.
+// It is intended for package-level defaults with known-good m.
+func MustField(m int) *Field {
+	f, err := NewField(m)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// NewFieldPoly returns the field GF(2^m) defined by the given
+// primitive polynomial (bit i of poly is the coefficient of x^i, and
+// bit m must be set). The polynomial is verified to be primitive by
+// checking that alpha = x generates the full multiplicative group; a
+// merely irreducible but non-primitive polynomial is rejected.
+func NewFieldPoly(m int, poly uint32) (*Field, error) {
+	if m < MinM || m > MaxM {
+		return nil, fmt.Errorf("gf: unsupported extension degree m=%d (want %d..%d)", m, MinM, MaxM)
+	}
+	if poly>>uint(m) != 1 {
+		return nil, fmt.Errorf("gf: polynomial %#x does not have degree %d", poly, m)
+	}
+	f := &Field{
+		m:    m,
+		size: 1 << uint(m),
+		n:    1<<uint(m) - 1,
+		poly: poly,
+	}
+	f.exp = make([]Elem, 2*f.n)
+	f.log = make([]uint16, f.size)
+
+	x := uint32(1)
+	for i := 0; i < f.n; i++ {
+		if x == 1 && i != 0 {
+			return nil, fmt.Errorf("gf: polynomial %#x is not primitive over GF(2^%d): alpha has order %d", poly, m, i)
+		}
+		f.exp[i] = Elem(x)
+		f.log[x] = uint16(i)
+		x <<= 1
+		if x&(1<<uint(m)) != 0 {
+			x ^= poly
+		}
+	}
+	if x != 1 {
+		return nil, fmt.Errorf("gf: polynomial %#x is not primitive over GF(2^%d)", poly, m)
+	}
+	copy(f.exp[f.n:], f.exp[:f.n])
+	return f, nil
+}
+
+// M returns the extension degree m of the field.
+func (f *Field) M() int { return f.m }
+
+// Size returns the number of field elements, 2^m.
+func (f *Field) Size() int { return f.size }
+
+// N returns the order of the multiplicative group, 2^m - 1. This is
+// also the maximum codeword length of a (non-extended) Reed-Solomon
+// code over the field.
+func (f *Field) N() int { return f.n }
+
+// Poly returns the primitive polynomial defining the field,
+// including the leading x^m term.
+func (f *Field) Poly() uint32 { return f.poly }
+
+// Valid reports whether e is a representable element of this field.
+func (f *Field) Valid(e Elem) bool { return int(e) < f.size }
+
+// Add returns a + b. In characteristic 2, addition and subtraction
+// coincide and are bitwise XOR.
+func (f *Field) Add(a, b Elem) Elem { return a ^ b }
+
+// Sub returns a - b, which equals a + b in GF(2^m).
+func (f *Field) Sub(a, b Elem) Elem { return a ^ b }
+
+// Mul returns the product a*b.
+func (f *Field) Mul(a, b Elem) Elem {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return f.exp[int(f.log[a])+int(f.log[b])]
+}
+
+// Div returns a/b. Division by zero panics, mirroring integer division;
+// callers in decoding paths guard explicitly.
+func (f *Field) Div(a, b Elem) Elem {
+	if b == 0 {
+		panic("gf: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return f.exp[int(f.log[a])+f.n-int(f.log[b])]
+}
+
+// Inv returns the multiplicative inverse of a. It panics when a is 0.
+func (f *Field) Inv(a Elem) Elem {
+	if a == 0 {
+		panic("gf: inverse of zero")
+	}
+	return f.exp[f.n-int(f.log[a])]
+}
+
+// Neg returns -a, which is a itself in characteristic 2.
+func (f *Field) Neg(a Elem) Elem { return a }
+
+// Exp returns alpha^i for any integer i (negative exponents allowed).
+func (f *Field) Exp(i int) Elem {
+	i %= f.n
+	if i < 0 {
+		i += f.n
+	}
+	return f.exp[i]
+}
+
+// Log returns the discrete logarithm of a to base alpha, in 0..n-1.
+// It panics when a is 0, which has no logarithm.
+func (f *Field) Log(a Elem) int {
+	if a == 0 {
+		panic("gf: logarithm of zero")
+	}
+	return int(f.log[a])
+}
+
+// Pow returns a^k for any integer k (with 0^0 = 1 by convention and
+// 0^k = 0 for k > 0; 0^k for k < 0 panics).
+func (f *Field) Pow(a Elem, k int) Elem {
+	if a == 0 {
+		if k == 0 {
+			return 1
+		}
+		if k < 0 {
+			panic("gf: negative power of zero")
+		}
+		return 0
+	}
+	l := int(f.log[a]) % f.n
+	e := (l * (k % f.n)) % f.n
+	if e < 0 {
+		e += f.n
+	}
+	return f.exp[e]
+}
+
+// MulCarryless computes a*b by schoolbook carry-less multiplication
+// followed by reduction modulo the field polynomial. It is the slow
+// reference implementation used to validate the table-driven Mul and
+// is exported so higher layers can cross-check in their own tests.
+func (f *Field) MulCarryless(a, b Elem) Elem {
+	var acc uint32
+	aa, bb := uint32(a), uint32(b)
+	for bb != 0 {
+		if bb&1 != 0 {
+			acc ^= aa
+		}
+		bb >>= 1
+		aa <<= 1
+	}
+	// Reduce acc (degree < 2m-1) modulo poly (degree m).
+	for d := 2*f.m - 2; d >= f.m; d-- {
+		if acc&(1<<uint(d)) != 0 {
+			acc ^= f.poly << uint(d-f.m)
+		}
+	}
+	return Elem(acc)
+}
+
+// String identifies the field, e.g. "GF(2^8, poly=0x11d)".
+func (f *Field) String() string {
+	return fmt.Sprintf("GF(2^%d, poly=%#x)", f.m, f.poly)
+}

@@ -1,0 +1,133 @@
+// Package interleave implements block interleaving of Reed-Solomon
+// codewords — the memory-page organization of solid-state mass
+// memories (paper ref [6]): a page is striped across d codewords so
+// that a physical burst (a failed column, a multi-bit upset spanning
+// adjacent symbols) lands on at most ceil(burst/d) symbols of any one
+// codeword, multiplying the correctable burst length by the
+// interleaving depth.
+//
+// The Page codec composes with internal/rs: data pages of depth*k
+// symbols are encoded into depth*n stored symbols laid out
+// codeword-interleaved (stored index i belongs to codeword i mod
+// depth).
+package interleave
+
+import (
+	"fmt"
+
+	"repro/internal/gf"
+	"repro/internal/rs"
+)
+
+// Page is an interleaved page codec: depth independent RS codewords
+// striped symbol-by-symbol across the stored page.
+type Page struct {
+	code  *rs.Code
+	depth int
+}
+
+// New builds a page codec with the given interleaving depth.
+func New(code *rs.Code, depth int) (*Page, error) {
+	if code == nil {
+		return nil, fmt.Errorf("interleave: nil code")
+	}
+	if depth <= 0 {
+		return nil, fmt.Errorf("interleave: nonpositive depth %d", depth)
+	}
+	return &Page{code: code, depth: depth}, nil
+}
+
+// Code returns the per-stripe Reed-Solomon code.
+func (p *Page) Code() *rs.Code { return p.code }
+
+// Depth returns the interleaving depth.
+func (p *Page) Depth() int { return p.depth }
+
+// DataSymbols returns the page payload size in symbols: depth*k.
+func (p *Page) DataSymbols() int { return p.depth * p.code.K() }
+
+// StoredSymbols returns the stored page size in symbols: depth*n.
+func (p *Page) StoredSymbols() int { return p.depth * p.code.N() }
+
+// CorrectableBurst returns the guaranteed-correctable burst length in
+// stored symbols when no other faults are present: each codeword
+// absorbs t = floor((n-k)/2) random errors, and a burst of length L
+// touches at most ceil(L/depth) symbols per codeword, so
+// L = depth*t bursts always correct (an L+1 burst can overload one
+// stripe).
+func (p *Page) CorrectableBurst() int { return p.depth * p.code.T() }
+
+// Encode encodes a page of depth*k data symbols into a stored page of
+// depth*n symbols, codeword-interleaved.
+func (p *Page) Encode(data []gf.Elem) ([]gf.Elem, error) {
+	if len(data) != p.DataSymbols() {
+		return nil, fmt.Errorf("interleave: page data has %d symbols, want %d", len(data), p.DataSymbols())
+	}
+	stored := make([]gf.Elem, p.StoredSymbols())
+	stripeData := make([]gf.Elem, p.code.K())
+	stripeCW := make([]gf.Elem, p.code.N())
+	for s := 0; s < p.depth; s++ {
+		for j := 0; j < p.code.K(); j++ {
+			stripeData[j] = data[j*p.depth+s]
+		}
+		if err := p.code.EncodeTo(stripeCW, stripeData); err != nil {
+			return nil, err
+		}
+		for j := 0; j < p.code.N(); j++ {
+			stored[j*p.depth+s] = stripeCW[j]
+		}
+	}
+	return stored, nil
+}
+
+// DecodeResult reports a page decode.
+type DecodeResult struct {
+	// Data is the recovered page payload.
+	Data []gf.Elem
+	// CorrectedSymbols is the total number of symbol corrections
+	// across all stripes.
+	CorrectedSymbols int
+	// FailedStripes lists stripe indices whose codeword was
+	// uncorrectable; Data is only trustworthy when empty.
+	FailedStripes []int
+}
+
+// Decode recovers a stored page. Erasure positions index the stored
+// page (0..depth*n-1). Stripes that fail to decode are reported in
+// FailedStripes and contribute their received (uncorrected) data
+// symbols, mirroring a controller that flags but still returns the
+// page.
+func (p *Page) Decode(stored []gf.Elem, erasures []int) (*DecodeResult, error) {
+	if len(stored) != p.StoredSymbols() {
+		return nil, fmt.Errorf("interleave: stored page has %d symbols, want %d", len(stored), p.StoredSymbols())
+	}
+	perStripe := make([][]int, p.depth)
+	for _, e := range erasures {
+		if e < 0 || e >= p.StoredSymbols() {
+			return nil, fmt.Errorf("interleave: erasure %d out of range [0,%d)", e, p.StoredSymbols())
+		}
+		stripe := e % p.depth
+		perStripe[stripe] = append(perStripe[stripe], e/p.depth)
+	}
+
+	res := &DecodeResult{Data: make([]gf.Elem, p.DataSymbols())}
+	stripeCW := make([]gf.Elem, p.code.N())
+	for s := 0; s < p.depth; s++ {
+		for j := 0; j < p.code.N(); j++ {
+			stripeCW[j] = stored[j*p.depth+s]
+		}
+		dec, err := p.code.Decode(stripeCW, perStripe[s])
+		if err != nil {
+			res.FailedStripes = append(res.FailedStripes, s)
+			for j := 0; j < p.code.K(); j++ {
+				res.Data[j*p.depth+s] = stripeCW[j]
+			}
+			continue
+		}
+		res.CorrectedSymbols += dec.Corrections
+		for j := 0; j < p.code.K(); j++ {
+			res.Data[j*p.depth+s] = dec.Data[j]
+		}
+	}
+	return res, nil
+}

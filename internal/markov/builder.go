@@ -1,0 +1,95 @@
+package markov
+
+import "fmt"
+
+// Arc is one outgoing transition in an implicitly described model:
+// a successor state and an exponential rate.
+type Arc[S comparable] struct {
+	To   S
+	Rate float64
+}
+
+// Explored is the result of state-space exploration: the chain plus
+// the bidirectional mapping between model states and chain indices.
+// The initial state always has index 0.
+type Explored[S comparable] struct {
+	Chain  *Chain
+	States []S       // index -> state
+	Index  map[S]int // state -> index
+}
+
+// Build explores the reachable state space of a model given by its
+// initial state and a transition function, and assembles the CTMC.
+// States are discovered breadth-first; exploration fails if more than
+// maxStates states are reachable (a guard against the state explosion
+// the paper's word-level modeling deliberately avoids).
+//
+// Self-arcs (To == source) are legal in the model description and are
+// dropped: in a CTMC a transition back into the same state is
+// indistinguishable from no transition. Zero-rate arcs are dropped for
+// the same reason.
+func Build[S comparable](initial S, transitions func(S) []Arc[S], maxStates int) (*Explored[S], error) {
+	if maxStates <= 0 {
+		return nil, fmt.Errorf("markov: maxStates must be positive, got %d", maxStates)
+	}
+	index := map[S]int{initial: 0}
+	states := []S{initial}
+	type edge struct {
+		from, to int
+		rate     float64
+	}
+	var edges []edge
+
+	for head := 0; head < len(states); head++ {
+		from := states[head]
+		for _, arc := range transitions(from) {
+			if arc.Rate < 0 {
+				return nil, fmt.Errorf("markov: negative rate %v from state %v", arc.Rate, from)
+			}
+			if arc.Rate == 0 || arc.To == from {
+				continue
+			}
+			j, ok := index[arc.To]
+			if !ok {
+				if len(states) >= maxStates {
+					return nil, fmt.Errorf("markov: state space exceeds %d states", maxStates)
+				}
+				j = len(states)
+				index[arc.To] = j
+				states = append(states, arc.To)
+			}
+			edges = append(edges, edge{head, j, arc.Rate})
+		}
+	}
+
+	chain, err := NewChain(len(states))
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range edges {
+		if err := chain.AddTransition(e.from, e.to, e.rate); err != nil {
+			return nil, err
+		}
+	}
+	return &Explored[S]{Chain: chain, States: states, Index: index}, nil
+}
+
+// InitialVector returns the probability vector concentrated on the
+// initial state (index 0).
+func (e *Explored[S]) InitialVector() []float64 {
+	p := make([]float64, e.Chain.NumStates())
+	p[0] = 1
+	return p
+}
+
+// ProbabilityOf sums the probability mass of every state satisfying
+// the predicate.
+func (e *Explored[S]) ProbabilityOf(p []float64, pred func(S) bool) float64 {
+	var sum float64
+	for i, s := range e.States {
+		if pred(s) {
+			sum += p[i]
+		}
+	}
+	return sum
+}

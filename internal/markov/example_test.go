@@ -1,0 +1,57 @@
+package markov_test
+
+import (
+	"fmt"
+
+	"repro/internal/markov"
+)
+
+// degraded is a tiny repairable system: Good -> Degraded -> Failed,
+// with repair back from Degraded.
+type degraded struct {
+	Errors int
+	Failed bool
+}
+
+// ExampleBuild explores a model described only by its transition
+// function and solves it transiently — the pattern the simplex and
+// duplex memory models follow.
+func ExampleBuild() {
+	transitions := func(s degraded) []markov.Arc[degraded] {
+		if s.Failed {
+			return nil
+		}
+		switch s.Errors {
+		case 0:
+			return []markov.Arc[degraded]{{To: degraded{Errors: 1}, Rate: 0.1}}
+		default:
+			return []markov.Arc[degraded]{
+				{To: degraded{Errors: 0}, Rate: 1.0},    // scrub
+				{To: degraded{Failed: true}, Rate: 0.1}, // second fault
+			}
+		}
+	}
+	ex, err := markov.Build(degraded{}, transitions, 100)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	p, err := ex.Chain.Transient(ex.InitialVector(), 10)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	failP := ex.ProbabilityOf(p, func(s degraded) bool { return s.Failed })
+	fmt.Printf("states: %d, P(failed by t=10): %.4f\n", ex.Chain.NumStates(), failP)
+
+	mtta, err := ex.Chain.MeanTimeToAbsorption()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("mean time to failure from Good: %.0f\n", mtta[0])
+
+	// Output:
+	// states: 3, P(failed by t=10): 0.0740
+	// mean time to failure from Good: 120
+}

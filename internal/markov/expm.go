@@ -1,0 +1,97 @@
+package markov
+
+import "math"
+
+// DenseExpm computes exp(Q*t) for a dense square matrix Q by
+// scaling-and-squaring with a truncated Taylor series. It is O(n^3)
+// and intended for validating the sparse uniformization solver on
+// small chains in tests, and for users who want an independent
+// reference; production solving goes through Transient.
+func DenseExpm(q [][]float64, t float64) [][]float64 {
+	n := len(q)
+	a := make([][]float64, n)
+	norm := 0.0
+	for i := range a {
+		a[i] = make([]float64, n)
+		rowSum := 0.0
+		for j := range a[i] {
+			a[i][j] = q[i][j] * t
+			rowSum += math.Abs(a[i][j])
+		}
+		if rowSum > norm {
+			norm = rowSum
+		}
+	}
+	// Scale so the Taylor series converges fast: ||A/2^s|| <= 0.5.
+	s := 0
+	for norm > 0.5 {
+		norm /= 2
+		s++
+	}
+	scale := math.Ldexp(1, -s)
+	for i := range a {
+		for j := range a[i] {
+			a[i][j] *= scale
+		}
+	}
+
+	// exp(A) by Taylor to machine precision at ||A|| <= 0.5.
+	result := identity(n)
+	term := identity(n)
+	for k := 1; k <= 24; k++ {
+		term = matMul(term, a)
+		inv := 1 / float64(k)
+		for i := range term {
+			for j := range term[i] {
+				term[i][j] *= inv
+				result[i][j] += term[i][j]
+			}
+		}
+	}
+	for ; s > 0; s-- {
+		result = matMul(result, result)
+	}
+	return result
+}
+
+func identity(n int) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		m[i][i] = 1
+	}
+	return m
+}
+
+func matMul(a, b [][]float64) [][]float64 {
+	n := len(a)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+		for l := 0; l < n; l++ {
+			v := a[i][l]
+			if v == 0 {
+				continue
+			}
+			row := b[l]
+			for j := range row {
+				out[i][j] += v * row[j]
+			}
+		}
+	}
+	return out
+}
+
+// VecMatMul returns v * m for a row vector v.
+func VecMatMul(v []float64, m [][]float64) []float64 {
+	out := make([]float64, len(m[0]))
+	for i, x := range v {
+		if x == 0 {
+			continue
+		}
+		for j, mij := range m[i] {
+			out[j] += x * mij
+		}
+	}
+	return out
+}

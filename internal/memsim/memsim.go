@@ -1,0 +1,498 @@
+// Package memsim is a Monte Carlo fault-injection simulator for the
+// paper's memory systems. Where the Markov models of internal/simplex
+// and internal/duplex abstract a stored word into fault-class counts,
+// memsim stores real Reed-Solomon codewords, flips real bits with
+// Poisson SEU arrivals, plants real stuck-at faults, scrubs through
+// the real decoder and reads through the real arbiter. It serves two
+// purposes:
+//
+//   - cross-validation: with matched rates, the fraction of trials in
+//     which a word's error pattern exceeds its code capability must
+//     agree with the chains' Fail probability (the xval bench);
+//   - model-gap measurement: the paper's chain declares failure as
+//     soon as either duplex word exceeds capability, but the real
+//     arbiter often survives that (a mis-correcting word is outvoted
+//     by its clean twin via the flag rule), so the chain is a
+//     conservative bound that the simulator quantifies.
+//
+// All rates are per hour; trials are independent and reproducible
+// from Config.Seed regardless of worker count.
+package memsim
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/arbiter"
+	"repro/internal/gf"
+	"repro/internal/rs"
+	"repro/internal/scrub"
+)
+
+// Config parameterizes a simulation campaign.
+type Config struct {
+	Code   *rs.Code
+	Duplex bool // false: simplex (single module)
+
+	LambdaBit    float64 // SEU rate per bit per hour, per module
+	LambdaSymbol float64 // permanent fault rate per symbol per hour, per module
+
+	ScrubPeriod      float64 // hours between scrubs; 0 disables scrubbing
+	ExponentialScrub bool    // exponential instead of periodic scrub intervals
+
+	// DetectionLatency is the delay between a permanent fault striking
+	// and the self-checking hardware locating it; until located the
+	// fault acts as a random error (paper Section 2). Zero means
+	// immediate location, matching the Markov models.
+	DetectionLatency float64
+
+	// CrossRepair lets a duplex scrub rewrite a module whose own word
+	// failed to decode with its twin's corrected codeword. The paper's
+	// model has no such repair — a word beyond capability is lost for
+	// good (the chain's Fail state is absorbing) — so the default is
+	// off; enabling it quantifies how much a smarter scrub controller
+	// would buy (an ablation bench at the repository root).
+	CrossRepair bool
+
+	Horizon float64 // storage time in hours; the word is read once at the end
+	Trials  int
+	Seed    int64
+	Workers int // 0 = GOMAXPROCS
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Code == nil:
+		return fmt.Errorf("memsim: nil code")
+	case c.LambdaBit < 0 || c.LambdaSymbol < 0:
+		return fmt.Errorf("memsim: negative fault rate")
+	case c.ScrubPeriod < 0:
+		return fmt.Errorf("memsim: negative scrub period")
+	case c.DetectionLatency < 0:
+		return fmt.Errorf("memsim: negative detection latency")
+	case c.Horizon <= 0 || math.IsNaN(c.Horizon) || math.IsInf(c.Horizon, 0):
+		return fmt.Errorf("memsim: invalid horizon %v", c.Horizon)
+	case c.Trials <= 0:
+		return fmt.Errorf("memsim: need at least one trial")
+	}
+	return nil
+}
+
+// Result aggregates a campaign.
+type Result struct {
+	Config Config
+	Trials int
+
+	// Read outcomes.
+	Correct     int // output provided and equal to the stored data
+	WrongOutput int // output provided but wrong (undetected failure)
+	NoOutput    int // detected failure: no output provided
+
+	// CapabilityExceeded counts trials whose ground-truth error
+	// pattern at read time exceeded the code capability of the word
+	// (simplex) or of at least one duplex word after erasure
+	// recovery — the event the Markov chains call Fail.
+	CapabilityExceeded int
+
+	// DataBitErrors is the total number of erroneous data bits over
+	// all trials that produced an output.
+	DataBitErrors int64
+
+	// Fault and operation counters.
+	SEUs            int64
+	PermanentFaults int64
+	ScrubOps        int64
+	// ScrubMiscorrections counts scrub passes that rewrote a module
+	// with a valid but wrong codeword (entrenched mis-correction).
+	ScrubMiscorrections int64
+
+	// Verdicts tallies arbiter decision paths (duplex only).
+	Verdicts map[arbiter.Verdict]int
+}
+
+// FailFraction is the observed probability that the read did not
+// return correct data (the union of WrongOutput and NoOutput).
+func (r *Result) FailFraction() float64 {
+	return float64(r.WrongOutput+r.NoOutput) / float64(r.Trials)
+}
+
+// CapabilityExceededFraction estimates the Markov chains' Fail-state
+// probability.
+func (r *Result) CapabilityExceededFraction() float64 {
+	return float64(r.CapabilityExceeded) / float64(r.Trials)
+}
+
+// PaperBER applies the paper's Eq. (1) prefactor to the observed
+// capability-exceeded fraction, making it directly comparable with
+// core.Evaluate output.
+func (r *Result) PaperBER() float64 {
+	code := r.Config.Code
+	m := code.Field().M()
+	return float64(m) * float64(code.Redundancy()) / float64(code.K()) * r.CapabilityExceededFraction()
+}
+
+// WilsonInterval returns the Wilson score interval for a binomial
+// proportion at the given z (e.g. 1.96 for 95%).
+func WilsonInterval(successes, trials int, z float64) (lo, hi float64) {
+	if trials == 0 {
+		return 0, 1
+	}
+	n := float64(trials)
+	p := float64(successes) / n
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (p + z2/(2*n)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// module is one memory module holding a (possibly corrupted) codeword.
+type module struct {
+	stored []gf.Elem
+	// stuckMask/stuckVal describe permanently forced bits per symbol.
+	stuckMask []uint16
+	stuckVal  []uint16
+	// locatedAt[s] is the earliest time the self-checking hardware
+	// knows symbol s carries a permanent fault; +Inf when healthy.
+	locatedAt []float64
+}
+
+func newModule(codeword []gf.Elem) *module {
+	n := len(codeword)
+	m := &module{
+		stored:    append([]gf.Elem(nil), codeword...),
+		stuckMask: make([]uint16, n),
+		stuckVal:  make([]uint16, n),
+		locatedAt: make([]float64, n),
+	}
+	for i := range m.locatedAt {
+		m.locatedAt[i] = math.Inf(1)
+	}
+	return m
+}
+
+// applyStuck forces the permanently faulted bits of symbol s.
+func (mo *module) applyStuck(s int, v gf.Elem) gf.Elem {
+	return v&^gf.Elem(mo.stuckMask[s]) | gf.Elem(mo.stuckVal[s])
+}
+
+// flip applies an SEU to bit b of symbol s.
+func (mo *module) flip(s, b int) {
+	mo.stored[s] = mo.applyStuck(s, mo.stored[s]^gf.Elem(1<<uint(b)))
+}
+
+// stick plants a permanent stuck-at fault: bit b of symbol s is forced
+// to value v from now on; located at time locate.
+func (mo *module) stick(s, b int, v uint16, locate float64) {
+	mo.stuckMask[s] |= 1 << uint(b)
+	if v != 0 {
+		mo.stuckVal[s] |= 1 << uint(b)
+	} else {
+		mo.stuckVal[s] &^= 1 << uint(b)
+	}
+	mo.stored[s] = mo.applyStuck(s, mo.stored[s])
+	if locate < mo.locatedAt[s] {
+		mo.locatedAt[s] = locate
+	}
+}
+
+// write stores a fresh codeword; stuck bits reassert themselves.
+func (mo *module) write(codeword []gf.Elem) {
+	for i, v := range codeword {
+		mo.stored[i] = mo.applyStuck(i, v)
+	}
+}
+
+// erasures returns the located permanent-fault positions at time t.
+func (mo *module) erasures(t float64) []int {
+	var out []int
+	for s, at := range mo.locatedAt {
+		if at <= t {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Run executes the campaign, distributing trials over workers. The
+// result is deterministic for a fixed Config (including Seed),
+// independent of Workers.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Trials {
+		workers = cfg.Trials
+	}
+
+	results := make([]Result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			acc := &results[w]
+			acc.Verdicts = make(map[arbiter.Verdict]int)
+			for trial := w; trial < cfg.Trials; trial += workers {
+				runTrial(cfg, trial, acc)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := &Result{Config: cfg, Trials: cfg.Trials, Verdicts: make(map[arbiter.Verdict]int)}
+	for i := range results {
+		r := &results[i]
+		total.Correct += r.Correct
+		total.WrongOutput += r.WrongOutput
+		total.NoOutput += r.NoOutput
+		total.CapabilityExceeded += r.CapabilityExceeded
+		total.DataBitErrors += r.DataBitErrors
+		total.SEUs += r.SEUs
+		total.PermanentFaults += r.PermanentFaults
+		total.ScrubOps += r.ScrubOps
+		total.ScrubMiscorrections += r.ScrubMiscorrections
+		for v, c := range r.Verdicts {
+			total.Verdicts[v] += c
+		}
+	}
+	return total, nil
+}
+
+// runTrial simulates one stored word (pair) from write to final read.
+func runTrial(cfg Config, trial int, acc *Result) {
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(trial)*0x9E3779B9))
+	code := cfg.Code
+	n, k, m := code.N(), code.K(), code.Field().M()
+
+	data := make([]gf.Elem, k)
+	for i := range data {
+		data[i] = gf.Elem(rng.Intn(code.Field().Size()))
+	}
+	truth, err := code.Encode(data)
+	if err != nil {
+		panic(fmt.Sprintf("memsim: encode: %v", err)) // impossible for valid config
+	}
+
+	mods := []*module{newModule(truth)}
+	if cfg.Duplex {
+		mods = append(mods, newModule(truth))
+	}
+
+	var sched scrub.Scheduler = scrub.Never{}
+	if cfg.ScrubPeriod > 0 {
+		if cfg.ExponentialScrub {
+			sched = &scrub.Exponential{Period: cfg.ScrubPeriod, Rng: rng}
+		} else {
+			sched = scrub.Periodic{Period: cfg.ScrubPeriod}
+		}
+	}
+
+	// Per-module stochastic rates.
+	seuRate := float64(n*m) * cfg.LambdaBit
+	permRate := float64(n) * cfg.LambdaSymbol
+	totalRate := float64(len(mods)) * (seuRate + permRate)
+
+	t := 0.0
+	nextScrub := sched.Next(0)
+	for {
+		tEvent := math.Inf(1)
+		if totalRate > 0 {
+			tEvent = t + rng.ExpFloat64()/totalRate
+		}
+		if nextScrub < tEvent && nextScrub < cfg.Horizon {
+			t = nextScrub
+			doScrub(cfg, mods, t, truth, acc)
+			nextScrub = sched.Next(t)
+			continue
+		}
+		if tEvent >= cfg.Horizon {
+			break
+		}
+		t = tEvent
+		// Pick module, then fault type, then location.
+		mo := mods[rng.Intn(len(mods))]
+		if rng.Float64()*(seuRate+permRate) < seuRate {
+			mo.flip(rng.Intn(n), rng.Intn(m))
+			acc.SEUs++
+		} else {
+			mo.stick(rng.Intn(n), rng.Intn(m), uint16(rng.Intn(2)), t+cfg.DetectionLatency)
+			acc.PermanentFaults++
+		}
+	}
+	finalRead(cfg, mods, cfg.Horizon, truth, acc)
+}
+
+// maskPair performs the arbiter's erasure recovery on the two stored
+// words: positions erased in exactly one module are replaced by the
+// twin symbol; positions erased in both are returned as shared
+// erasures for the decoders.
+func maskPair(mods []*module, t float64) (w1, w2 []gf.Elem, shared []int) {
+	e1 := mods[0].erasures(t)
+	e2 := mods[1].erasures(t)
+	set1 := make(map[int]bool, len(e1))
+	for _, p := range e1 {
+		set1[p] = true
+	}
+	set2 := make(map[int]bool, len(e2))
+	for _, p := range e2 {
+		set2[p] = true
+	}
+	w1 = append([]gf.Elem(nil), mods[0].stored...)
+	w2 = append([]gf.Elem(nil), mods[1].stored...)
+	for i := range w1 {
+		switch {
+		case set1[i] && set2[i]:
+			shared = append(shared, i)
+		case set1[i]:
+			w1[i] = w2[i]
+		case set2[i]:
+			w2[i] = w1[i]
+		}
+	}
+	return w1, w2, shared
+}
+
+// doScrub reads, corrects and rewrites the stored word(s) through the
+// real decoder. A detected-uncorrectable word is left untouched; a
+// mis-corrected word is entrenched (and counted).
+func doScrub(cfg Config, mods []*module, t float64, truth []gf.Elem, acc *Result) {
+	acc.ScrubOps++
+	code := cfg.Code
+	if !cfg.Duplex {
+		mo := mods[0]
+		res, err := code.Decode(mo.stored, mo.erasures(t))
+		if err != nil {
+			return
+		}
+		mo.write(res.Codeword)
+		if !equalWords(res.Codeword, truth) {
+			acc.ScrubMiscorrections++
+		}
+		return
+	}
+	w1, w2, shared := maskPair(mods, t)
+	r1, err1 := code.Decode(w1, shared)
+	r2, err2 := code.Decode(w2, shared)
+	rewrite := func(mo *module, r *rs.Result) {
+		mo.write(r.Codeword)
+		if !equalWords(r.Codeword, truth) {
+			acc.ScrubMiscorrections++
+		}
+	}
+	switch {
+	case err1 == nil && err2 == nil:
+		rewrite(mods[0], r1)
+		rewrite(mods[1], r2)
+	case err1 == nil:
+		rewrite(mods[0], r1)
+		if cfg.CrossRepair {
+			rewrite(mods[1], r1) // resurrect the dead module from the live word
+		}
+	case err2 == nil:
+		rewrite(mods[1], r2)
+		if cfg.CrossRepair {
+			rewrite(mods[0], r2)
+		}
+	}
+}
+
+// finalRead performs the paper's read-at-stopping-time and classifies
+// the outcome.
+func finalRead(cfg Config, mods []*module, t float64, truth []gf.Elem, acc *Result) {
+	code := cfg.Code
+	if !cfg.Duplex {
+		mo := mods[0]
+		erasures := mo.erasures(t)
+		if exceedsCapability(code, mo.stored, erasures, truth) {
+			acc.CapabilityExceeded++
+		}
+		res, err := code.Decode(mo.stored, erasures)
+		switch {
+		case err != nil:
+			acc.NoOutput++
+		case equalWords(res.Data, truth[:code.K()]):
+			acc.Correct++
+		default:
+			acc.WrongOutput++
+			acc.DataBitErrors += bitErrors(res.Data, truth[:code.K()])
+		}
+		return
+	}
+
+	w1, w2, shared := maskPair(mods, t)
+	if exceedsCapability(code, w1, shared, truth) || exceedsCapability(code, w2, shared, truth) {
+		acc.CapabilityExceeded++
+	}
+	arb, err := arbiter.New(code)
+	if err != nil {
+		panic(err) // code is validated
+	}
+	res, err := arb.Read(mods[0].stored, mods[1].stored, mods[0].erasures(t), mods[1].erasures(t))
+	if err != nil {
+		panic(fmt.Sprintf("memsim: arbiter: %v", err)) // inputs are structurally valid
+	}
+	acc.Verdicts[res.Verdict]++
+	switch {
+	case !res.OK:
+		acc.NoOutput++
+	case equalWords(res.Data, truth[:code.K()]):
+		acc.Correct++
+	default:
+		acc.WrongOutput++
+		acc.DataBitErrors += bitErrors(res.Data, truth[:code.K()])
+	}
+}
+
+// exceedsCapability checks the ground-truth error pattern of one word
+// against 2*errors + erasures <= n-k — the condition whose violation
+// is the Markov chains' Fail event.
+func exceedsCapability(code *rs.Code, word []gf.Elem, erasures []int, truth []gf.Elem) bool {
+	erased := make(map[int]bool, len(erasures))
+	for _, p := range erasures {
+		erased[p] = true
+	}
+	errors := 0
+	for i := range word {
+		if !erased[i] && word[i] != truth[i] {
+			errors++
+		}
+	}
+	return 2*errors+len(erasures) > code.Redundancy()
+}
+
+func equalWords(a, b []gf.Elem) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func bitErrors(a, b []gf.Elem) int64 {
+	var total int64
+	for i := range a {
+		total += int64(bits.OnesCount16(uint16(a[i] ^ b[i])))
+	}
+	return total
+}

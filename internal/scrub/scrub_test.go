@@ -1,0 +1,128 @@
+package scrub
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNeverNext(t *testing.T) {
+	var n Never
+	if !math.IsInf(n.Next(0), 1) || !math.IsInf(n.Next(1e9), 1) {
+		t.Error("Never must return +Inf")
+	}
+}
+
+func TestNewPeriodicValidation(t *testing.T) {
+	if _, err := NewPeriodic(0); err == nil {
+		t.Error("zero period accepted")
+	}
+	if _, err := NewPeriodic(-1); err == nil {
+		t.Error("negative period accepted")
+	}
+	if _, err := NewPeriodic(math.NaN()); err == nil {
+		t.Error("NaN period accepted")
+	}
+	if _, err := NewPeriodic(math.Inf(1)); err == nil {
+		t.Error("infinite period accepted")
+	}
+	p, err := NewPeriodic(0.25)
+	if err != nil || p.Period != 0.25 {
+		t.Fatalf("NewPeriodic: %v %v", p, err)
+	}
+}
+
+func TestPeriodicSequence(t *testing.T) {
+	p, _ := NewPeriodic(0.25)
+	want := []float64{0.25, 0.5, 0.75, 1.0}
+	t0 := 0.0
+	for _, w := range want {
+		next := p.Next(t0)
+		if math.Abs(next-w) > 1e-12 {
+			t.Fatalf("Next(%v) = %v, want %v", t0, next, w)
+		}
+		t0 = next
+	}
+}
+
+func TestPeriodicStrictlyAfter(t *testing.T) {
+	p, _ := NewPeriodic(1)
+	if got := p.Next(3); got <= 3 {
+		t.Errorf("Next(3) = %v, want > 3", got)
+	}
+	if got := p.Next(3); math.Abs(got-4) > 1e-12 {
+		t.Errorf("Next(3) = %v, want 4 (3 is a boundary, next is strictly after)", got)
+	}
+	if got := p.Next(2.5); math.Abs(got-3) > 1e-12 {
+		t.Errorf("Next(2.5) = %v, want 3", got)
+	}
+}
+
+func TestPeriodicOffset(t *testing.T) {
+	p := Periodic{Period: 2, Offset: 0.5}
+	if got := p.Next(0); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Next(0) = %v, want 0.5", got)
+	}
+	if got := p.Next(0.5); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("Next(0.5) = %v, want 2.5", got)
+	}
+	if got := p.Next(2.5); math.Abs(got-4.5) > 1e-12 {
+		t.Errorf("Next(2.5) = %v, want 4.5", got)
+	}
+}
+
+func TestPeriodicZeroValueSafe(t *testing.T) {
+	var p Periodic
+	if !math.IsInf(p.Next(0), 1) {
+		t.Error("zero-value Periodic should never scrub")
+	}
+}
+
+func TestNewExponentialValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewExponential(0, rng); err == nil {
+		t.Error("zero period accepted")
+	}
+	if _, err := NewExponential(1, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := NewExponential(math.NaN(), rng); err == nil {
+		t.Error("NaN period accepted")
+	}
+}
+
+func TestExponentialStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	e, err := NewExponential(0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const samples = 200000
+	var sum, sumSq float64
+	t0 := 0.0
+	for i := 0; i < samples; i++ {
+		next := e.Next(t0)
+		d := next - t0
+		if d <= 0 {
+			t.Fatal("nonpositive interval")
+		}
+		sum += d
+		sumSq += d * d
+		t0 = next
+	}
+	mean := sum / samples
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean interval %v, want 0.5", mean)
+	}
+	// Exponential: variance = mean^2.
+	variance := sumSq/samples - mean*mean
+	if math.Abs(variance-0.25) > 0.02 {
+		t.Errorf("variance %v, want 0.25", variance)
+	}
+}
+
+func TestSchedulerInterfaceCompliance(t *testing.T) {
+	var _ Scheduler = Never{}
+	var _ Scheduler = Periodic{}
+	var _ Scheduler = (*Exponential)(nil)
+}

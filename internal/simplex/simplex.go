@@ -1,0 +1,164 @@
+// Package simplex implements the continuous-time Markov chain model
+// of a simplex RS(n,k)-coded memory word (paper Section 5, Figure 2,
+// after Cardarilli et al. [7]).
+//
+// A state S(er, re) counts er erased symbols (located permanent
+// faults) and re symbols holding random errors (SEU bit flips) in one
+// stored codeword. The word remains recoverable while
+//
+//	er + 2*re <= n - k;
+//
+// any event pushing the pattern beyond that bound moves the chain to
+// the absorbing Fail state, whose probability feeds the paper's BER
+// metric (Eq. 1). Scrubbing, when enabled, is the exponential
+// transition S(er, re) -> S(er, 0) at rate 1/Tsc: it rewrites corrected
+// data, clearing transient errors but not permanent faults.
+package simplex
+
+import (
+	"fmt"
+
+	"repro/internal/markov"
+)
+
+// State identifies one Markov state of the simplex model. The zero
+// value is the initial Good state S(0,0).
+type State struct {
+	Er   int  // erased symbols (located permanent faults)
+	Re   int  // symbols with random errors
+	Fail bool // absorbing unrecoverable state
+}
+
+// String renders the state in the paper's S(er,re) notation.
+func (s State) String() string {
+	if s.Fail {
+		return "FAIL"
+	}
+	return fmt.Sprintf("S(%d,%d)", s.Er, s.Re)
+}
+
+var fail = State{Fail: true}
+
+// Params configures the simplex model. All rates are per hour; use
+// internal/reliability to convert from the paper's per-day figures.
+type Params struct {
+	N int // codeword symbols
+	K int // dataword symbols
+	M int // bits per symbol
+
+	Lambda    float64 // SEU rate per bit per hour
+	LambdaE   float64 // erasure (permanent fault) rate per symbol per hour
+	ScrubRate float64 // scrub rate 1/Tsc per hour; 0 disables scrubbing
+}
+
+// Validate checks structural and rate sanity.
+func (p Params) Validate() error {
+	switch {
+	case p.N <= 0 || p.K <= 0 || p.K >= p.N:
+		return fmt.Errorf("simplex: invalid code RS(%d,%d)", p.N, p.K)
+	case p.M <= 0 || p.M > 16:
+		return fmt.Errorf("simplex: invalid symbol width m=%d", p.M)
+	case p.N > 1<<uint(p.M)-1:
+		return fmt.Errorf("simplex: n=%d exceeds 2^%d-1", p.N, p.M)
+	case p.Lambda < 0 || p.LambdaE < 0 || p.ScrubRate < 0:
+		return fmt.Errorf("simplex: negative rate (lambda=%g lambdaE=%g scrub=%g)",
+			p.Lambda, p.LambdaE, p.ScrubRate)
+	}
+	return nil
+}
+
+// recoverable reports the paper's boundary condition er + 2*re <= n-k.
+func (p Params) recoverable(er, re int) bool {
+	return er+2*re <= p.N-p.K
+}
+
+// guard maps a candidate successor to itself when still recoverable
+// and to Fail otherwise.
+func (p Params) guard(s State) State {
+	if s.Fail || !p.recoverable(s.Er, s.Re) {
+		return fail
+	}
+	return s
+}
+
+// Transitions returns the outgoing arcs of a state, implementing the
+// events of paper Section 4: SEU bit flips on clean symbols, erasures
+// on clean symbols, erasures overtaking symbols already in error
+// (the permanent fault is then located and the random error is
+// subsumed), and scrubbing. Bit flips on already erased or already
+// erroneous symbols do not change the state (the former is dominated
+// by the erasure, the latter is excluded by the paper's assumptions).
+func (p Params) Transitions(s State) []markov.Arc[State] {
+	if s.Fail {
+		return nil // absorbing
+	}
+	clean := p.N - s.Er - s.Re
+	arcs := make([]markov.Arc[State], 0, 4)
+
+	// SEU on a clean symbol: re+1. m*lambda per symbol.
+	if clean > 0 && p.Lambda > 0 {
+		arcs = append(arcs, markov.Arc[State]{
+			To:   p.guard(State{Er: s.Er, Re: s.Re + 1}),
+			Rate: float64(p.M) * p.Lambda * float64(clean),
+		})
+	}
+	// Erasure on a clean symbol: er+1.
+	if clean > 0 && p.LambdaE > 0 {
+		arcs = append(arcs, markov.Arc[State]{
+			To:   p.guard(State{Er: s.Er + 1, Re: s.Re}),
+			Rate: p.LambdaE * float64(clean),
+		})
+	}
+	// Erasure on a symbol already holding a random error: the located
+	// permanent fault subsumes the error (er+1, re-1). This never
+	// violates the bound when the source state satisfied it.
+	if s.Re > 0 && p.LambdaE > 0 {
+		arcs = append(arcs, markov.Arc[State]{
+			To:   p.guard(State{Er: s.Er + 1, Re: s.Re - 1}),
+			Rate: p.LambdaE * float64(s.Re),
+		})
+	}
+	// Scrubbing: clears random errors, keeps permanent faults.
+	if p.ScrubRate > 0 && s.Re > 0 {
+		arcs = append(arcs, markov.Arc[State]{
+			To:   State{Er: s.Er, Re: 0},
+			Rate: p.ScrubRate,
+		})
+	}
+	return arcs
+}
+
+// maxStates bounds exploration: all (er, re) with er+2re <= n-k, plus
+// Fail, is a triangular set of at most (n-k+1)*(n-k+2)/2 + 1 states;
+// the bound below is generous.
+func (p Params) maxStates() int {
+	d := p.N - p.K
+	return (d+1)*(d+2)/2 + 2
+}
+
+// Build explores the model's state space and returns the CTMC.
+// The initial state (index 0) is the Good state S(0,0).
+func Build(p Params) (*markov.Explored[State], error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return markov.Build(State{}, p.Transitions, p.maxStates())
+}
+
+// FailProbabilities solves the chain transiently and returns the Fail
+// state probability at each time (hours, nondecreasing).
+func FailProbabilities(p Params, times []float64) ([]float64, error) {
+	ex, err := Build(p)
+	if err != nil {
+		return nil, err
+	}
+	series, err := ex.Chain.TransientSeries(ex.InitialVector(), times)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(times))
+	for i, dist := range series {
+		out[i] = ex.ProbabilityOf(dist, func(s State) bool { return s.Fail })
+	}
+	return out, nil
+}

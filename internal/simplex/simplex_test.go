@@ -1,0 +1,303 @@
+package simplex
+
+import (
+	"math"
+	"testing"
+)
+
+func relClose(a, b, rel float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= rel*scale
+}
+
+func baseParams() Params {
+	return Params{N: 18, K: 16, M: 8, Lambda: 1e-5, LambdaE: 1e-6}
+}
+
+func TestValidate(t *testing.T) {
+	good := baseParams()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	cases := []func(*Params){
+		func(p *Params) { p.N = 0 },
+		func(p *Params) { p.K = 0 },
+		func(p *Params) { p.K = p.N },
+		func(p *Params) { p.M = 0 },
+		func(p *Params) { p.M = 17 },
+		func(p *Params) { p.N = 300; p.M = 8 },
+		func(p *Params) { p.Lambda = -1 },
+		func(p *Params) { p.LambdaE = -1 },
+		func(p *Params) { p.ScrubRate = -1 },
+	}
+	for i, mut := range cases {
+		p := baseParams()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if got := (State{Er: 2, Re: 1}).String(); got != "S(2,1)" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (State{Fail: true}).String(); got != "FAIL" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestStateSpaceRS1816(t *testing.T) {
+	// er + 2re <= 2: S(0,0), S(1,0), S(2,0), S(0,1); plus FAIL = 5.
+	ex, err := Build(baseParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ex.Chain.NumStates(); got != 5 {
+		t.Errorf("state count = %d, want 5", got)
+	}
+	wantStates := []State{{}, {Er: 1}, {Er: 2}, {Re: 1}, {Fail: true}}
+	for _, w := range wantStates {
+		if _, ok := ex.Index[w]; !ok {
+			t.Errorf("state %v not explored", w)
+		}
+	}
+}
+
+func TestStateSpaceSEUOnly(t *testing.T) {
+	p := baseParams()
+	p.LambdaE = 0
+	ex, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// S(0,0), S(0,1), FAIL.
+	if got := ex.Chain.NumStates(); got != 3 {
+		t.Errorf("state count = %d, want 3", got)
+	}
+}
+
+func TestStateSpaceRS3616Count(t *testing.T) {
+	p := Params{N: 36, K: 16, M: 8, Lambda: 1e-5, LambdaE: 1e-6}
+	ex, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Triangular count: er + 2re <= 20 -> sum_{re=0..10} (21-2re) = 121,
+	// plus FAIL.
+	if got := ex.Chain.NumStates(); got != 122 {
+		t.Errorf("state count = %d, want 122", got)
+	}
+}
+
+func TestAllExploredStatesRecoverable(t *testing.T) {
+	p := Params{N: 36, K: 16, M: 8, Lambda: 1e-5, LambdaE: 1e-6, ScrubRate: 1}
+	ex, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range ex.States {
+		if s.Fail {
+			continue
+		}
+		if !p.recoverable(s.Er, s.Re) {
+			t.Errorf("unrecoverable non-fail state %v explored", s)
+		}
+		if s.Er < 0 || s.Re < 0 || s.Er+s.Re > p.N {
+			t.Errorf("structurally impossible state %v", s)
+		}
+	}
+}
+
+// TestPureSEUClosedForm verifies the chain against the analytic
+// solution of the 3-state pure-death chain: Good -> 1 error -> Fail
+// with rates a = m*lambda*n and b = m*lambda*(n-1).
+func TestPureSEUClosedForm(t *testing.T) {
+	p := Params{N: 18, K: 16, M: 8, Lambda: 2e-4} // LambdaE = 0
+	a := float64(p.M) * p.Lambda * float64(p.N)
+	b := float64(p.M) * p.Lambda * float64(p.N-1)
+	for _, tt := range []float64{1, 10, 48, 500} {
+		got, err := FailProbabilities(p, []float64{tt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p0 := math.Exp(-a * tt)
+		p1 := a / (a - b) * (math.Exp(-b*tt) - math.Exp(-a*tt))
+		want := 1 - p0 - p1
+		if !relClose(got[0], want, 1e-8) {
+			t.Errorf("t=%v: P_fail = %g, want %g", tt, got[0], want)
+		}
+	}
+}
+
+// TestPureErasureClosedForm: with lambda = 0, the chain is a pure
+// death process on er through n-k+1 stages with rates
+// lambdaE*(n-er).
+func TestPureErasureClosedForm(t *testing.T) {
+	p := Params{N: 18, K: 16, M: 8, LambdaE: 1e-3}
+	r0 := p.LambdaE * 18
+	r1 := p.LambdaE * 17
+	r2 := p.LambdaE * 16
+	tt := 100.0
+	got, err := FailProbabilities(p, []float64{tt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hypoexponential(r0,r1,r2) CDF via partial fractions.
+	cdf := 1 -
+		(r1*r2/((r1-r0)*(r2-r0)))*math.Exp(-r0*tt) -
+		(r0*r2/((r0-r1)*(r2-r1)))*math.Exp(-r1*tt) -
+		(r0*r1/((r0-r2)*(r1-r2)))*math.Exp(-r2*tt)
+	if !relClose(got[0], cdf, 1e-7) {
+		t.Errorf("P_fail = %g, want %g", got[0], cdf)
+	}
+}
+
+func TestFailMonotonicInTime(t *testing.T) {
+	p := baseParams()
+	times := []float64{0, 1, 5, 24, 48, 200}
+	got, err := FailProbabilities(p, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 {
+		t.Errorf("P_fail(0) = %g, want 0", got[0])
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Errorf("P_fail not monotone: %g after %g", got[i], got[i-1])
+		}
+	}
+}
+
+func TestFailMonotonicInRates(t *testing.T) {
+	base := baseParams()
+	lo, err := FailProbabilities(base, []float64{48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi := base
+	hi.Lambda *= 10
+	hiP, err := FailProbabilities(hi, []float64{48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hiP[0] <= lo[0] {
+		t.Errorf("10x SEU rate did not increase P_fail: %g vs %g", hiP[0], lo[0])
+	}
+	he := base
+	he.LambdaE *= 10
+	heP, err := FailProbabilities(he, []float64{48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heP[0] <= lo[0] {
+		t.Errorf("10x erasure rate did not increase P_fail: %g vs %g", heP[0], lo[0])
+	}
+}
+
+func TestScrubbingReducesFailProbability(t *testing.T) {
+	noScrub := Params{N: 18, K: 16, M: 8, Lambda: 1e-4}
+	base, err := FailProbabilities(noScrub, []float64{48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := base[0]
+	// Faster scrubbing must monotonically reduce P_fail.
+	for _, rate := range []float64{0.5, 1, 2, 4} {
+		p := noScrub
+		p.ScrubRate = rate
+		got, err := FailProbabilities(p, []float64{48})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] >= prev {
+			t.Errorf("scrub rate %v did not reduce P_fail: %g vs %g", rate, got[0], prev)
+		}
+		prev = got[0]
+	}
+}
+
+func TestScrubbingDoesNotHelpPermanentFaults(t *testing.T) {
+	// With lambda = 0 every fault is permanent; scrubbing must be a
+	// no-op on the fail probability.
+	p := Params{N: 18, K: 16, M: 8, LambdaE: 1e-4}
+	base, err := FailProbabilities(p, []float64{720})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.ScrubRate = 10
+	scrubbed, err := FailProbabilities(p, []float64{720})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relClose(base[0], scrubbed[0], 1e-9) {
+		t.Errorf("scrubbing changed permanent-fault-only P_fail: %g vs %g", scrubbed[0], base[0])
+	}
+}
+
+func TestErasureSubsumesRandomError(t *testing.T) {
+	// From S(0,1) an erasure on the errored symbol must lead to
+	// S(1,0), not S(1,1).
+	p := baseParams()
+	ex, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	from := ex.Index[State{Re: 1}]
+	to := ex.Index[State{Er: 1}]
+	found := false
+	for _, tr := range ex.Chain.Transitions(from) {
+		if tr.To == to && relClose(tr.Rate, p.LambdaE, 1e-12) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("S(0,1) -> S(1,0) erasure-subsumption transition missing or has wrong rate")
+	}
+}
+
+func TestFailProbabilityIsZeroWithoutFaults(t *testing.T) {
+	p := Params{N: 18, K: 16, M: 8}
+	got, err := FailProbabilities(p, []float64{0, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 || got[1] != 0 {
+		t.Errorf("fault-free system failed: %v", got)
+	}
+}
+
+func TestBuildRejectsInvalid(t *testing.T) {
+	if _, err := Build(Params{N: 5, K: 5, M: 8}); err == nil {
+		t.Error("Build accepted invalid params")
+	}
+	if _, err := FailProbabilities(Params{N: 5, K: 5, M: 8}, []float64{1}); err == nil {
+		t.Error("FailProbabilities accepted invalid params")
+	}
+}
+
+func BenchmarkBuildRS3616(b *testing.B) {
+	p := Params{N: 36, K: 16, M: 8, Lambda: 1e-5, LambdaE: 1e-6, ScrubRate: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFailProbabilities48h(b *testing.B) {
+	p := Params{N: 18, K: 16, M: 8, Lambda: 1e-5, LambdaE: 1e-6, ScrubRate: 1}
+	times := []float64{6, 12, 24, 48}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := FailProbabilities(p, times); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

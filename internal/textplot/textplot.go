@@ -1,0 +1,198 @@
+// Package textplot renders the repository's experiment results as
+// terminal plots and TSV tables, so every figure of the paper can be
+// regenerated and inspected without any plotting dependency.
+//
+// The log-scale line chart mirrors the paper's presentation: BER spans
+// up to 200 decades (Figure 10), which only a log axis can show.
+package textplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one labeled curve: y values over x values.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Plot is a renderable chart.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// LogY plots log10(y); nonpositive samples are dropped (they have
+	// no logarithm — in BER curves they are exact zeros at t=0).
+	LogY   bool
+	Width  int // plot-area columns (default 64)
+	Height int // plot-area rows (default 20)
+	Series []Series
+}
+
+// markers distinguish up to eight series; further series cycle.
+var markers = []rune{'*', '+', 'o', 'x', '#', '@', '%', '~'}
+
+// Render draws the plot into a string. Series with no drawable points
+// are listed in the legend with a "(no positive samples)" note when
+// LogY drops everything.
+func (p *Plot) Render() string {
+	width, height := p.Width, p.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 20
+	}
+
+	type pt struct{ x, y float64 }
+	curves := make([][]pt, len(p.Series))
+	var xmin, xmax, ymin, ymax float64
+	first := true
+	for i, s := range p.Series {
+		for j := range s.X {
+			if j >= len(s.Y) {
+				break
+			}
+			y := s.Y[j]
+			if p.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			x := s.X[j]
+			curves[i] = append(curves[i], pt{x, y})
+			if first {
+				xmin, xmax, ymin, ymax = x, x, y, y
+				first = false
+				continue
+			}
+			xmin = math.Min(xmin, x)
+			xmax = math.Max(xmax, x)
+			ymin = math.Min(ymin, y)
+			ymax = math.Max(ymax, y)
+		}
+	}
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	if first {
+		b.WriteString("(no drawable samples)\n")
+		return b.String()
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = make([]rune, width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	for i, curve := range curves {
+		mark := markers[i%len(markers)]
+		for _, q := range curve {
+			c := int(math.Round((q.x - xmin) / (xmax - xmin) * float64(width-1)))
+			r := int(math.Round((q.y - ymin) / (ymax - ymin) * float64(height-1)))
+			row := height - 1 - r
+			if row >= 0 && row < height && c >= 0 && c < width {
+				grid[row][c] = mark
+			}
+		}
+	}
+
+	yTick := func(row int) string {
+		frac := float64(height-1-row) / float64(height-1)
+		v := ymin + frac*(ymax-ymin)
+		if p.LogY {
+			return fmt.Sprintf("%9s", fmt.Sprintf("1e%+05.1f", v))
+		}
+		return fmt.Sprintf("%9.3g", v)
+	}
+	if p.YLabel != "" {
+		fmt.Fprintf(&b, "%s\n", p.YLabel)
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", 9)
+		if r == 0 || r == height-1 || r == height/2 {
+			label = yTick(r)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 9), strings.Repeat("-", width))
+	left := fmt.Sprintf("%.4g", xmin)
+	right := fmt.Sprintf("%.4g", xmax)
+	pad := width - len(left) - len(right)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s", strings.Repeat(" ", 9), left, strings.Repeat(" ", pad), right)
+	if p.XLabel != "" {
+		fmt.Fprintf(&b, "  (%s)", p.XLabel)
+	}
+	b.WriteString("\n")
+	for i, s := range p.Series {
+		note := ""
+		if len(curves[i]) == 0 {
+			note = "  (no positive samples)"
+		}
+		fmt.Fprintf(&b, "  %c %s%s\n", markers[i%len(markers)], s.Label, note)
+	}
+	return b.String()
+}
+
+// WriteTSV emits the series as a tab-separated table: one x column
+// followed by one column per series. All series must share the same
+// x grid; rows are emitted in ascending x order.
+func WriteTSV(w io.Writer, xLabel string, series []Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("textplot: no series")
+	}
+	n := len(series[0].X)
+	for _, s := range series {
+		if len(s.X) != n || len(s.Y) != n {
+			return fmt.Errorf("textplot: series %q has mismatched length", s.Label)
+		}
+		for i := range s.X {
+			if s.X[i] != series[0].X[i] {
+				return fmt.Errorf("textplot: series %q has a different x grid", s.Label)
+			}
+		}
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return series[0].X[idx[a]] < series[0].X[idx[b]] })
+
+	header := []string{xLabel}
+	for _, s := range series {
+		header = append(header, s.Label)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, "\t")); err != nil {
+		return err
+	}
+	for _, i := range idx {
+		row := []string{formatG(series[0].X[i])}
+		for _, s := range series {
+			row = append(row, formatG(s.Y[i]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatG(v float64) string { return fmt.Sprintf("%.8g", v) }

@@ -1,0 +1,183 @@
+package textplot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	p := &Plot{
+		Title:  "test plot",
+		XLabel: "hours",
+		YLabel: "BER",
+		LogY:   true,
+		Series: []Series{
+			{Label: "a", X: []float64{0, 1, 2}, Y: []float64{1e-9, 1e-6, 1e-3}},
+			{Label: "b", X: []float64{0, 1, 2}, Y: []float64{1e-8, 1e-7, 1e-6}},
+		},
+	}
+	out := p.Render()
+	for _, want := range []string{"test plot", "hours", "BER", "* a", "+ b", "1e-03"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Error("markers not drawn")
+	}
+}
+
+func TestRenderDropsNonPositiveOnLogAxis(t *testing.T) {
+	p := &Plot{
+		LogY: true,
+		Series: []Series{
+			{Label: "curve", X: []float64{0, 1, 2}, Y: []float64{0, 1e-6, 1e-5}},
+		},
+	}
+	out := p.Render()
+	if strings.Contains(out, "no drawable samples") {
+		t.Error("positive samples were dropped")
+	}
+	empty := &Plot{
+		LogY:   true,
+		Series: []Series{{Label: "zeros", X: []float64{0, 1}, Y: []float64{0, 0}}},
+	}
+	out = empty.Render()
+	if !strings.Contains(out, "no drawable samples") {
+		t.Errorf("all-zero log plot should say so:\n%s", out)
+	}
+}
+
+func TestRenderLinearAxis(t *testing.T) {
+	p := &Plot{
+		Series: []Series{
+			{Label: "linear", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+		},
+	}
+	out := p.Render()
+	if !strings.Contains(out, "*") {
+		t.Error("no markers on linear plot")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 20 {
+		t.Errorf("default height not honored: %d lines", len(lines))
+	}
+}
+
+func TestRenderDegenerateRanges(t *testing.T) {
+	// Single point and constant series must not divide by zero.
+	p := &Plot{
+		Series: []Series{{Label: "pt", X: []float64{5}, Y: []float64{3}}},
+	}
+	if out := p.Render(); !strings.Contains(out, "*") {
+		t.Errorf("single point not drawn:\n%s", out)
+	}
+	c := &Plot{
+		Series: []Series{{Label: "const", X: []float64{0, 1, 2}, Y: []float64{7, 7, 7}}},
+	}
+	if out := c.Render(); !strings.Contains(out, "*") {
+		t.Errorf("constant series not drawn:\n%s", out)
+	}
+}
+
+func TestRenderCustomSize(t *testing.T) {
+	p := &Plot{
+		Width:  20,
+		Height: 5,
+		Series: []Series{{Label: "s", X: []float64{0, 1}, Y: []float64{0, 1}}},
+	}
+	out := p.Render()
+	lines := strings.Split(out, "\n")
+	plotLines := 0
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			plotLines++
+		}
+	}
+	if plotLines != 5 {
+		t.Errorf("plot rows = %d, want 5", plotLines)
+	}
+}
+
+func TestRenderManySeriesCyclesMarkers(t *testing.T) {
+	p := &Plot{}
+	for i := 0; i < 10; i++ {
+		p.Series = append(p.Series, Series{
+			Label: "s",
+			X:     []float64{0, 1},
+			Y:     []float64{float64(i), float64(i + 1)},
+		})
+	}
+	out := p.Render()
+	if !strings.Contains(out, "* s") {
+		t.Error("ninth series should reuse the first marker")
+	}
+}
+
+func TestRenderMismatchedXYLengths(t *testing.T) {
+	p := &Plot{
+		Series: []Series{{Label: "short-y", X: []float64{0, 1, 2}, Y: []float64{1}}},
+	}
+	out := p.Render() // must not panic; draws the one valid point
+	if !strings.Contains(out, "*") {
+		t.Errorf("valid prefix not drawn:\n%s", out)
+	}
+}
+
+func TestWriteTSV(t *testing.T) {
+	var buf bytes.Buffer
+	series := []Series{
+		{Label: "a", X: []float64{0, 24, 48}, Y: []float64{0, 1e-7, 4e-7}},
+		{Label: "b", X: []float64{0, 24, 48}, Y: []float64{0, 2e-7, 8e-7}},
+	}
+	if err := WriteTSV(&buf, "hours", series); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "hours\ta\tb" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "24\t") {
+		t.Errorf("row = %q", lines[2])
+	}
+	fields := strings.Split(lines[3], "\t")
+	if len(fields) != 3 || fields[1] != "4e-07" {
+		t.Errorf("row fields = %v", fields)
+	}
+}
+
+func TestWriteTSVSortsByX(t *testing.T) {
+	var buf bytes.Buffer
+	series := []Series{
+		{Label: "a", X: []float64{48, 0, 24}, Y: []float64{3, 1, 2}},
+	}
+	if err := WriteTSV(&buf, "t", series); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if !strings.HasPrefix(lines[1], "0\t1") || !strings.HasPrefix(lines[3], "48\t3") {
+		t.Errorf("rows not sorted:\n%s", buf.String())
+	}
+}
+
+func TestWriteTSVValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTSV(&buf, "x", nil); err == nil {
+		t.Error("empty series accepted")
+	}
+	mismatch := []Series{
+		{Label: "a", X: []float64{0, 1}, Y: []float64{0, 1}},
+		{Label: "b", X: []float64{0, 2}, Y: []float64{0, 1}},
+	}
+	if err := WriteTSV(&buf, "x", mismatch); err == nil {
+		t.Error("different x grids accepted")
+	}
+	short := []Series{{Label: "a", X: []float64{0, 1}, Y: []float64{0}}}
+	if err := WriteTSV(&buf, "x", short); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}

@@ -1,0 +1,155 @@
+// Package tmr implements triple modular redundancy with bit-level
+// majority voting — the modular-redundancy baseline the paper's
+// introduction positions Reed-Solomon coding against. Three copies of
+// every word are stored; a read votes each bit; a scrub rewrites all
+// three copies with the voted word.
+//
+// The package provides the voter and a per-bit CTMC in the paper's
+// style: a voted bit fails once two of its three copies are corrupted,
+// soft errors scrub away, permanent faults do not. Word-level failure
+// probability follows from per-bit independence.
+package tmr
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/markov"
+)
+
+// Vote returns the bit-level majority of the three equal-length
+// copies, plus a disagreement mask (bits where at least one copy
+// dissented — the voter's error-detection output).
+func Vote(a, b, c []byte) (voted, disagree []byte, err error) {
+	if len(a) != len(b) || len(b) != len(c) {
+		return nil, nil, fmt.Errorf("tmr: copies have different lengths %d/%d/%d", len(a), len(b), len(c))
+	}
+	voted = make([]byte, len(a))
+	disagree = make([]byte, len(a))
+	for i := range a {
+		voted[i] = a[i]&b[i] | b[i]&c[i] | a[i]&c[i]
+		disagree[i] = (a[i] ^ b[i]) | (b[i] ^ c[i])
+	}
+	return voted, disagree, nil
+}
+
+// Replicate returns three fresh copies of the word.
+func Replicate(word []byte) (a, b, c []byte) {
+	a = append([]byte(nil), word...)
+	b = append([]byte(nil), word...)
+	c = append([]byte(nil), word...)
+	return a, b, c
+}
+
+// Overhead is the storage cost of TMR: three stored bits per data bit.
+const Overhead = 3.0
+
+// Params configures the per-bit CTMC of a TMR-protected memory.
+// Rates are per hour; DataBits is the protected word width.
+type Params struct {
+	DataBits  int
+	Lambda    float64 // SEU rate per bit per hour (per copy)
+	LambdaP   float64 // permanent fault rate per bit per hour (per copy)
+	ScrubRate float64 // 1/Tsc per hour; 0 disables scrubbing
+}
+
+// State counts corrupted copies of ONE voted bit: soft (scrubbable)
+// and permanent. The bit fails once two copies are corrupted (the
+// majority flips). Fail is absorbing.
+type State struct {
+	Perm int
+	Soft int
+	Fail bool
+}
+
+// String renders the state.
+func (s State) String() string {
+	if s.Fail {
+		return "FAIL"
+	}
+	return fmt.Sprintf("T(%d,%d)", s.Perm, s.Soft)
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.DataBits <= 0 {
+		return fmt.Errorf("tmr: nonpositive data width %d", p.DataBits)
+	}
+	if p.Lambda < 0 || p.LambdaP < 0 || p.ScrubRate < 0 {
+		return fmt.Errorf("tmr: negative rate")
+	}
+	return nil
+}
+
+// Transitions implements the per-bit model: three copies, each
+// flipping softly at Lambda and failing permanently at LambdaP;
+// scrubbing rewrites the voted value, clearing soft corruption while
+// stuck bits reassert.
+func (p Params) Transitions(s State) []markov.Arc[State] {
+	if s.Fail {
+		return nil
+	}
+	healthy := 3 - s.Perm - s.Soft
+	fail := State{Fail: true}
+	var arcs []markov.Arc[State]
+	add := func(to State, rate float64) {
+		if rate <= 0 {
+			return
+		}
+		if !to.Fail && to.Perm+to.Soft > 1 {
+			to = fail // two corrupted copies flip the majority
+		}
+		if to != s {
+			arcs = append(arcs, markov.Arc[State]{To: to, Rate: rate})
+		}
+	}
+	if healthy > 0 {
+		add(State{Perm: s.Perm, Soft: s.Soft + 1}, p.Lambda*float64(healthy))
+		add(State{Perm: s.Perm + 1, Soft: s.Soft}, p.LambdaP*float64(healthy))
+	}
+	if s.Soft > 0 {
+		add(State{Perm: s.Perm + 1, Soft: s.Soft - 1}, p.LambdaP*float64(s.Soft))
+	}
+	if p.ScrubRate > 0 && s.Soft > 0 {
+		add(State{Perm: s.Perm, Soft: 0}, p.ScrubRate)
+	}
+	return arcs
+}
+
+// BitFailProbabilities solves the per-bit chain at the given times.
+func BitFailProbabilities(p Params, times []float64) ([]float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	ex, err := markov.Build(State{}, p.Transitions, 16)
+	if err != nil {
+		return nil, err
+	}
+	series, err := ex.Chain.TransientSeries(ex.InitialVector(), times)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(times))
+	for i, dist := range series {
+		out[i] = ex.ProbabilityOf(dist, func(s State) bool { return s.Fail })
+	}
+	return out, nil
+}
+
+// FailProbabilities returns the probability that a DataBits-wide voted
+// word has at least one failed bit at each time: bits fail
+// independently, so P_word = 1 - (1-p_bit)^DataBits, computed in
+// log space to preserve tiny probabilities.
+func FailProbabilities(p Params, times []float64) ([]float64, error) {
+	bit, err := BitFailProbabilities(p, times)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(bit))
+	for i, pb := range bit {
+		// 1-(1-p)^n = -expm1(n*log1p(-p)), accurate for p down to
+		// the underflow limit.
+		out[i] = -math.Expm1(float64(p.DataBits) * math.Log1p(-pb))
+	}
+	return out, nil
+}

@@ -1,0 +1,243 @@
+package tmr
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func relClose(a, b, rel float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= rel*scale
+}
+
+func TestVoteCleanAndSingleCorruption(t *testing.T) {
+	word := []byte{0xDE, 0xAD, 0xBE, 0xEF}
+	a, b, c := Replicate(word)
+	voted, disagree, err := Vote(a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(voted, word) {
+		t.Error("clean vote changed the word")
+	}
+	for _, d := range disagree {
+		if d != 0 {
+			t.Error("clean vote reported disagreement")
+		}
+	}
+
+	// Corrupt one copy arbitrarily much: majority still wins.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		a, b, c := Replicate(word)
+		for i := range a {
+			a[i] ^= byte(rng.Intn(256))
+		}
+		voted, disagree, err := Vote(a, b, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(voted, word) {
+			t.Fatal("single corrupted copy defeated the vote")
+		}
+		sawDisagree := false
+		for _, d := range disagree {
+			if d != 0 {
+				sawDisagree = true
+			}
+		}
+		if !sawDisagree && !bytes.Equal(a, word) {
+			t.Fatal("corruption not reported in disagreement mask")
+		}
+	}
+}
+
+func TestVoteTwoCopiesSameBitLose(t *testing.T) {
+	word := []byte{0x00}
+	a, b, c := Replicate(word)
+	a[0] ^= 0x10
+	b[0] ^= 0x10
+	voted, disagree, err := Vote(a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if voted[0] != 0x10 {
+		t.Errorf("voted = %#x, two matching corruptions must win the vote", voted[0])
+	}
+	if disagree[0]&0x10 == 0 {
+		t.Error("disagreement mask missed the outvoted bit")
+	}
+}
+
+func TestVoteDifferentBitsSurvive(t *testing.T) {
+	// Two corrupted copies but on DIFFERENT bits: every bit still has
+	// a 2-of-3 correct majority.
+	word := []byte{0xFF}
+	a, b, c := Replicate(word)
+	a[0] ^= 0x01
+	b[0] ^= 0x80
+	voted, _, err := Vote(a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if voted[0] != 0xFF {
+		t.Errorf("voted = %#x, want 0xFF", voted[0])
+	}
+}
+
+func TestVoteLengthMismatch(t *testing.T) {
+	if _, _, err := Vote([]byte{1}, []byte{1, 2}, []byte{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestReplicateIndependence(t *testing.T) {
+	word := []byte{1, 2, 3}
+	a, b, c := Replicate(word)
+	a[0] = 99
+	if word[0] != 1 || b[0] != 1 || c[0] != 1 {
+		t.Error("Replicate aliases its copies")
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := (Params{DataBits: 128, Lambda: 1e-6}).Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	bad := []Params{
+		{DataBits: 0},
+		{DataBits: 8, Lambda: -1},
+		{DataBits: 8, LambdaP: -1},
+		{DataBits: 8, ScrubRate: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// TestBitChainClosedForm: with no scrubbing and no permanent faults,
+// the per-bit chain is 0 -> 1 -> Fail with rates 3L and 2L.
+func TestBitChainClosedForm(t *testing.T) {
+	p := Params{DataBits: 1, Lambda: 2e-4}
+	a, b := 3*p.Lambda, 2*p.Lambda
+	tt := 300.0
+	got, err := BitFailProbabilities(p, []float64{tt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := math.Exp(-a * tt)
+	p1 := a / (a - b) * (math.Exp(-b*tt) - math.Exp(-a*tt))
+	want := 1 - p0 - p1
+	if !relClose(got[0], want, 1e-8) {
+		t.Errorf("bit fail = %g, want %g", got[0], want)
+	}
+}
+
+func TestWordFailFromBits(t *testing.T) {
+	p := Params{DataBits: 128, Lambda: 2e-4}
+	tt := []float64{100}
+	bit, err := BitFailProbabilities(Params{DataBits: 1, Lambda: p.Lambda}, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	word, err := FailProbabilities(p, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - math.Pow(1-bit[0], 128)
+	if !relClose(word[0], want, 1e-10) {
+		t.Errorf("word fail = %g, want %g", word[0], want)
+	}
+}
+
+func TestWordFailPreservesTinyProbabilities(t *testing.T) {
+	// At very low rates the word-level combination must not round to
+	// zero: 1-(1-p)^n ~ n*p.
+	p := Params{DataBits: 128, Lambda: 1e-12}
+	got, err := FailProbabilities(p, []float64{48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bit, err := BitFailProbabilities(Params{DataBits: 1, Lambda: 1e-12}, []float64{48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 128 * bit[0]
+	if got[0] == 0 {
+		t.Fatal("tiny word probability truncated to zero")
+	}
+	if !relClose(got[0], want, 1e-3) {
+		t.Errorf("word fail = %g, want ~%g", got[0], want)
+	}
+}
+
+func TestScrubbingHelpsSoftOnly(t *testing.T) {
+	base := Params{DataBits: 128, Lambda: 2e-4}
+	plain, err := FailProbabilities(base, []float64{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.ScrubRate = 1
+	scrubbed, err := FailProbabilities(base, []float64{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scrubbed[0] >= plain[0] {
+		t.Errorf("scrubbing did not help TMR: %g vs %g", scrubbed[0], plain[0])
+	}
+
+	perm := Params{DataBits: 128, LambdaP: 1e-5}
+	pp, err := FailProbabilities(perm, []float64{1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm.ScrubRate = 10
+	ps, err := FailProbabilities(perm, []float64{1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relClose(pp[0], ps[0], 1e-9) {
+		t.Errorf("scrub changed permanent-only TMR failure: %g vs %g", ps[0], pp[0])
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if (State{Perm: 1, Soft: 0}).String() != "T(1,0)" {
+		t.Error("state string wrong")
+	}
+	if (State{Fail: true}).String() != "FAIL" {
+		t.Error("fail string wrong")
+	}
+}
+
+func BenchmarkVote128Bytes(b *testing.B) {
+	word := make([]byte, 128)
+	for i := range word {
+		word[i] = byte(i)
+	}
+	x, y, z := Replicate(word)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Vote(x, y, z); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWordFailProbability(b *testing.B) {
+	p := Params{DataBits: 128, Lambda: 2e-4, ScrubRate: 1}
+	times := []float64{12, 24, 48}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := FailProbabilities(p, times); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
