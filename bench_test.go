@@ -112,6 +112,11 @@ func BenchmarkFig10SimplexRS3616PermanentSweep(b *testing.B) {
 }
 
 func BenchmarkTableDecoderLatency(b *testing.B) {
+	// One op regenerates the Section 6 latency table for the two paper
+	// codes; count their codeword symbols (18 + 36) as the bytes the
+	// modeled decoders consume so MB/s tracks the table's scope.
+	b.ReportAllocs()
+	b.SetBytes(int64(18 + 36))
 	runExperiment(b, "tbl-td", func(r *expdata.Result) map[string]float64 {
 		return map[string]float64{
 			"cycles/RS1816": r.Series[0].Y[0],
@@ -146,14 +151,18 @@ func BenchmarkCrossValidationMonteCarlo(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	const trials = 4000
 	var got float64
 	b.ReportAllocs()
+	// One op pushes `trials` duplex codewords through the simulator;
+	// count one byte per stored codeword symbol.
+	b.SetBytes(int64(trials) * int64(code.N()))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := memsim.Run(memsim.Config{
 			Code: code, Duplex: true,
 			LambdaBit: lambda, LambdaSymbol: lambdaE,
-			Horizon: horizon, Trials: 4000, Seed: int64(i),
+			Horizon: horizon, Trials: trials, Seed: int64(i),
 		})
 		if err != nil {
 			b.Fatal(err)

@@ -20,4 +20,21 @@
 //	go test -bench=. -benchmem
 //
 // to regenerate everything, or use cmd/sweep for human-readable plots.
+//
+// # The allocation-free codec hot path
+//
+// Every experiment above funnels millions of words through the
+// Reed-Solomon codec, so internal/rs is built as a set of streaming
+// kernels with a zero-allocation steady state: rs.Code.EncodeTo runs a
+// parity LFSR straight into the destination slice, rs.Code.SyndromesInto
+// fills a caller buffer, and an rs.Decoder workspace (one per
+// goroutine, from rs.Code.NewDecoder) decodes with zero allocs/op on
+// every successful path. The original Encode/Decode signatures remain
+// as thin wrappers over a pooled workspace for callers that want to
+// retain results. internal/memsim threads one workspace set through
+// each simulation worker and internal/arbiter owns a pair per arbiter,
+// so Monte Carlo campaigns no longer allocate per trial; the
+// per-kernel trajectory is tracked by the microbenchmarks in
+// internal/rs (go test ./internal/rs -bench . -benchmem) and gated by
+// its TestSteadyStateZeroAllocs.
 package repro

@@ -83,9 +83,17 @@ type Result struct {
 	Flag1, Flag2 bool
 }
 
-// Arbiter decodes replicated word pairs for a fixed code.
+// Arbiter decodes replicated word pairs for a fixed code. It owns a
+// decoding workspace per module (the repaired-word buffers, erasure
+// bitsets and rs.Decoder scratch), so steady-state reads allocate only
+// the Result they hand back. An Arbiter is therefore NOT safe for
+// concurrent use; create one per goroutine.
 type Arbiter struct {
-	code *rs.Code
+	code       *rs.Code
+	dec1, dec2 *rs.Decoder
+	w1, w2     []gf.Elem
+	e1, e2     []bool
+	shared     []int
 }
 
 // New returns an arbiter for the given code.
@@ -93,7 +101,17 @@ func New(code *rs.Code) (*Arbiter, error) {
 	if code == nil {
 		return nil, fmt.Errorf("arbiter: nil code")
 	}
-	return &Arbiter{code: code}, nil
+	n := code.N()
+	return &Arbiter{
+		code:   code,
+		dec1:   code.NewDecoder(),
+		dec2:   code.NewDecoder(),
+		w1:     make([]gf.Elem, n),
+		w2:     make([]gf.Elem, n),
+		e1:     make([]bool, n),
+		e2:     make([]bool, n),
+		shared: make([]int, 0, n),
+	}, nil
 }
 
 // Read performs the full arbiter operation of paper Section 3 on the
@@ -114,49 +132,52 @@ func (a *Arbiter) Read(word1, word2 []gf.Elem, erasures1, erasures2 []int) (*Res
 	if len(word1) != n || len(word2) != n {
 		return nil, fmt.Errorf("arbiter: words have %d/%d symbols, want n=%d", len(word1), len(word2), n)
 	}
-	e1, err := erasureSet(erasures1, n)
-	if err != nil {
+	if err := fillErasureSet(a.e1, erasures1); err != nil {
 		return nil, err
 	}
-	e2, err := erasureSet(erasures2, n)
-	if err != nil {
+	if err := fillErasureSet(a.e2, erasures2); err != nil {
 		return nil, err
 	}
 
 	res := &Result{}
-	w1 := append([]gf.Elem(nil), word1...)
-	w2 := append([]gf.Elem(nil), word2...)
-	var shared []int
+	copy(a.w1, word1)
+	copy(a.w2, word2)
+	shared := a.shared[:0]
 	for i := 0; i < n; i++ {
 		switch {
-		case e1[i] && e2[i]:
+		case a.e1[i] && a.e2[i]:
 			shared = append(shared, i)
-		case e1[i]:
-			w1[i] = w2[i]
+		case a.e1[i]:
+			a.w1[i] = a.w2[i]
 			res.MaskedErasures++
-		case e2[i]:
-			w2[i] = w1[i]
+		case a.e2[i]:
+			a.w2[i] = a.w1[i]
 			res.MaskedErasures++
 		}
 	}
 	res.SharedErasures = len(shared)
 
-	r1, err1 := a.code.Decode(w1, shared)
-	r2, err2 := a.code.Decode(w2, shared)
+	r1, err1 := a.dec1.Decode(a.w1, shared)
+	r2, err2 := a.dec2.Decode(a.w2, shared)
 
+	// output hands a decoded dataword to the caller. The decoder
+	// results alias the arbiter's workspaces, so the retained Data is
+	// copied out.
+	output := func(r *rs.Result) {
+		res.OK = true
+		res.Data = append([]gf.Elem(nil), r.Data...)
+	}
 	switch {
 	case err1 != nil && err2 != nil:
 		res.Verdict = BothFailed
 		return res, nil
 	case err1 != nil:
-		res.OK = true
-		res.Data = r2.Data
+		output(r2)
 		res.Flag2 = r2.Flag
 		res.Verdict = OneWordFailed
 		return res, nil
 	case err2 != nil:
-		res.OK = true
-		res.Data = r1.Data
+		output(r1)
 		res.Flag1 = r1.Flag
 		res.Verdict = OneWordFailed
 		return res, nil
@@ -166,22 +187,18 @@ func (a *Arbiter) Read(word1, word2 []gf.Elem, erasures1, erasures2 []int) (*Res
 	equal := wordsEqual(r1.Codeword, r2.Codeword)
 	switch {
 	case !r1.Flag && !r2.Flag && equal:
-		res.OK = true
-		res.Data = r1.Data
+		output(r1)
 		res.Verdict = NoError
 	case equal:
-		res.OK = true
-		res.Data = r1.Data
+		output(r1)
 		res.Verdict = CorrectedAgree
 	case r1.Flag && r2.Flag:
 		res.Verdict = BothFlaggedDiffer
 	case r1.Flag:
-		res.OK = true
-		res.Data = r2.Data
+		output(r2)
 		res.Verdict = FlagResolved
 	case r2.Flag:
-		res.OK = true
-		res.Data = r1.Data
+		output(r1)
 		res.Verdict = FlagResolved
 	default:
 		res.Verdict = DifferNoFlags
@@ -189,15 +206,18 @@ func (a *Arbiter) Read(word1, word2 []gf.Elem, erasures1, erasures2 []int) (*Res
 	return res, nil
 }
 
-func erasureSet(positions []int, n int) ([]bool, error) {
-	set := make([]bool, n)
+// fillErasureSet resets set and marks the given positions.
+func fillErasureSet(set []bool, positions []int) error {
+	for i := range set {
+		set[i] = false
+	}
 	for _, p := range positions {
-		if p < 0 || p >= n {
-			return nil, fmt.Errorf("arbiter: erasure position %d out of range [0,%d)", p, n)
+		if p < 0 || p >= len(set) {
+			return fmt.Errorf("arbiter: erasure position %d out of range [0,%d)", p, len(set))
 		}
 		set[p] = true
 	}
-	return set, nil
+	return nil
 }
 
 func wordsEqual(a, b []gf.Elem) bool {

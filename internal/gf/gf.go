@@ -67,7 +67,18 @@ type Field struct {
 	// log[e] = i such that alpha^i = e, for e in 1 .. n. log[0] is a
 	// sentinel that is never read by valid code paths.
 	log []uint16
+	// mul is the full multiplication table for small fields
+	// (m <= mulTableMaxM): mul[int(a)<<m | int(b)] = a*b. It turns a
+	// product into a single load, which is what the batch kernels and
+	// the Reed-Solomon hot loops want; for larger fields it stays nil
+	// and the log/exp path is used instead.
+	mul []Elem
 }
+
+// mulTableMaxM bounds the fields for which the full multiplication
+// table is precomputed. At m = 8 the table is 2^16 elements = 128 KiB,
+// still cache-friendly; one step further would already be 8 MiB.
+const mulTableMaxM = 8
 
 // NewField returns the field GF(2^m) built from the package's default
 // primitive polynomial for that m.
@@ -125,6 +136,16 @@ func NewFieldPoly(m int, poly uint32) (*Field, error) {
 		return nil, fmt.Errorf("gf: polynomial %#x is not primitive over GF(2^%d)", poly, m)
 	}
 	copy(f.exp[f.n:], f.exp[:f.n])
+	if m <= mulTableMaxM {
+		f.mul = make([]Elem, f.size*f.size)
+		for a := 1; a < f.size; a++ {
+			row := f.mul[a<<uint(m):]
+			la := int(f.log[a])
+			for b := 1; b < f.size; b++ {
+				row[b] = f.exp[la+int(f.log[b])]
+			}
+		}
+	}
 	return f, nil
 }
 
@@ -159,6 +180,76 @@ func (f *Field) Mul(a, b Elem) Elem {
 		return 0
 	}
 	return f.exp[int(f.log[a])+int(f.log[b])]
+}
+
+// MulRow returns the row view r of the multiplication table for the
+// constant c: r[x] = c*x for every field element x. It returns nil for
+// fields too large to carry a precomputed table (m > 8); callers fall
+// back to Mul or the log-domain kernels. The returned slice is shared
+// and must not be modified.
+//
+// A row view turns "multiply a stream of symbols by one constant" —
+// the inner operation of LFSR encoding, syndrome accumulation and
+// polynomial scaling — into one load per symbol with no branches.
+func (f *Field) MulRow(c Elem) []Elem {
+	if f.mul == nil {
+		return nil
+	}
+	i := int(c) << uint(f.m)
+	return f.mul[i : i+f.size : i+f.size]
+}
+
+// MulSlice sets dst[i] = c * src[i] for every i. dst and src must have
+// the same length (dst may alias src). It performs no allocation.
+func (f *Field) MulSlice(dst, src []Elem, c Elem) {
+	if len(dst) != len(src) {
+		panic("gf: MulSlice length mismatch")
+	}
+	if c == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	if row := f.MulRow(c); row != nil {
+		for i, s := range src {
+			dst[i] = row[s]
+		}
+		return
+	}
+	lc := int(f.log[c])
+	for i, s := range src {
+		if s == 0 {
+			dst[i] = 0
+		} else {
+			dst[i] = f.exp[lc+int(f.log[s])]
+		}
+	}
+}
+
+// AddMulSlice sets dst[i] ^= c * src[i] for every i — the GF(2^m)
+// multiply-accumulate at the heart of polynomial long division and
+// Berlekamp-Massey updates. src must not be longer than dst; excess
+// dst elements are untouched. It performs no allocation.
+func (f *Field) AddMulSlice(dst, src []Elem, c Elem) {
+	if len(src) > len(dst) {
+		panic("gf: AddMulSlice source longer than destination")
+	}
+	if c == 0 {
+		return
+	}
+	if row := f.MulRow(c); row != nil {
+		for i, s := range src {
+			dst[i] ^= row[s]
+		}
+		return
+	}
+	lc := int(f.log[c])
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= f.exp[lc+int(f.log[s])]
+		}
+	}
 }
 
 // Div returns a/b. Division by zero panics, mirroring integer division;

@@ -356,3 +356,115 @@ func BenchmarkInv(b *testing.B) {
 	}
 	_ = x
 }
+
+// TestMulRowMatchesMul checks the precomputed row views against Mul on
+// a row-table field, and that oversized fields simply opt out.
+func TestMulRowMatchesMul(t *testing.T) {
+	f := MustField(8)
+	for c := 0; c < f.Size(); c++ {
+		row := f.MulRow(Elem(c))
+		if row == nil {
+			t.Fatalf("MulRow(%d) = nil for m=8", c)
+		}
+		if len(row) != f.Size() {
+			t.Fatalf("MulRow(%d) has %d entries, want %d", c, len(row), f.Size())
+		}
+		for x := 0; x < f.Size(); x++ {
+			if row[x] != f.Mul(Elem(c), Elem(x)) {
+				t.Fatalf("MulRow(%d)[%d] = %d, want %d", c, x, row[x], f.Mul(Elem(c), Elem(x)))
+			}
+		}
+	}
+	big := MustField(12)
+	if big.MulRow(3) != nil {
+		t.Error("MulRow should be nil for m=12 (no row tables)")
+	}
+}
+
+// TestBatchKernels checks MulSlice and AddMulSlice against elementwise
+// Mul on both a row-table field (m=8) and a log-domain field (m=12).
+func TestBatchKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, m := range []int{4, 8, 12} {
+		f := MustField(m)
+		for trial := 0; trial < 50; trial++ {
+			n := 1 + rng.Intn(40)
+			src := make([]Elem, n)
+			for i := range src {
+				src[i] = Elem(rng.Intn(f.Size()))
+			}
+			c := Elem(rng.Intn(f.Size()))
+
+			dst := make([]Elem, n)
+			f.MulSlice(dst, src, c)
+			for i := range src {
+				if want := f.Mul(c, src[i]); dst[i] != want {
+					t.Fatalf("m=%d MulSlice[%d] = %d, want %d", m, i, dst[i], want)
+				}
+			}
+
+			acc := make([]Elem, n)
+			for i := range acc {
+				acc[i] = Elem(rng.Intn(f.Size()))
+			}
+			want := make([]Elem, n)
+			for i := range want {
+				want[i] = acc[i] ^ f.Mul(c, src[i])
+			}
+			f.AddMulSlice(acc, src, c)
+			for i := range acc {
+				if acc[i] != want[i] {
+					t.Fatalf("m=%d AddMulSlice[%d] = %d, want %d", m, i, acc[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestMulSliceAliasing checks the in-place (dst == src) contract.
+func TestMulSliceAliasing(t *testing.T) {
+	f := MustField(8)
+	buf := []Elem{0, 1, 2, 77, 255}
+	want := make([]Elem, len(buf))
+	for i, s := range buf {
+		want[i] = f.Mul(19, s)
+	}
+	f.MulSlice(buf, buf, 19)
+	if !reflect.DeepEqual(buf, want) {
+		t.Errorf("in-place MulSlice = %v, want %v", buf, want)
+	}
+}
+
+// TestBatchKernelPanics pins the length-contract panics.
+func TestBatchKernelPanics(t *testing.T) {
+	f := MustField(8)
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("MulSlice length mismatch", func() {
+		f.MulSlice(make([]Elem, 2), make([]Elem, 3), 1)
+	})
+	mustPanic("AddMulSlice long source", func() {
+		f.AddMulSlice(make([]Elem, 2), make([]Elem, 3), 1)
+	})
+}
+
+func BenchmarkAddMulSlice(b *testing.B) {
+	f := MustField(8)
+	src := make([]Elem, 255)
+	dst := make([]Elem, 255)
+	rng := rand.New(rand.NewSource(22))
+	for i := range src {
+		src[i] = Elem(rng.Intn(f.Size()))
+	}
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.AddMulSlice(dst, src, Elem(i&0xff))
+	}
+}

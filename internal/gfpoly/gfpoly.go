@@ -6,10 +6,18 @@
 // empty (or all-zero) slice; operations normalize results so the
 // highest-index coefficient of a nonzero polynomial is nonzero.
 //
-// All operations are methods on Ring, which binds a field. The package
-// supplies exactly the primitives the Reed-Solomon codec needs —
-// products, remainders, evaluations, formal derivatives and root
-// products — with allocation-light implementations.
+// All operations are methods on Ring, which binds a field: products,
+// remainders, evaluations, formal derivatives and root products, with
+// allocation-light implementations built on the gf batch kernels.
+//
+// The Reed-Solomon hot path in internal/rs no longer routes through
+// this package — its encoder, syndrome, locator and Chien/Forney
+// kernels operate on fixed workspace buffers — but the full primitive
+// set is kept deliberately: the Sugiyama audit decoder
+// (rs.DecodeEuclidean) is written against it, the rs and gf tests
+// cross-check the fused kernels against these straightforward
+// implementations, and future codecs (BCH, interleaved variants) need
+// the same algebra.
 package gfpoly
 
 import (
@@ -151,9 +159,7 @@ func (r *Ring) Scale(p Poly, c gf.Elem) Poly {
 		return nil
 	}
 	out := make(Poly, len(p))
-	for i, pc := range p {
-		out[i] = r.F.Mul(pc, c)
-	}
+	r.F.MulSlice(out, p, c)
 	return trim(out)
 }
 
@@ -168,12 +174,7 @@ func (r *Ring) Mul(p, q Poly) Poly {
 		if pc == 0 {
 			continue
 		}
-		for j, qc := range q {
-			if qc == 0 {
-				continue
-			}
-			out[i+j] ^= r.F.Mul(pc, qc)
-		}
+		r.F.AddMulSlice(out[i:], q, pc)
 	}
 	return trim(out)
 }
@@ -208,9 +209,7 @@ func (r *Ring) DivMod(p, d Poly) (quo, rem Poly) {
 		shift := len(rem) - 1 - dd
 		factor := r.F.Mul(rem[len(rem)-1], lcInv)
 		quo[shift] = factor
-		for i, dc := range d {
-			rem[shift+i] ^= r.F.Mul(dc, factor)
-		}
+		r.F.AddMulSlice(rem[shift:], d, factor)
 		rem = trim(rem)
 		if len(rem) == 0 {
 			break

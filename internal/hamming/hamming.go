@@ -28,6 +28,12 @@ type Code struct {
 	total     int // codeword length including overall parity
 	// dataPos[i] is the codeword position of data bit i.
 	dataPos []int
+	// cover[j] has a bit set for every codeword position the Hamming
+	// parity bit 2^j covers (positions 1..dataBits+checkBits whose
+	// index has bit j set, including the parity position itself).
+	// Encode and Decode reduce each parity to one masked popcount
+	// instead of walking the positions bit by bit.
+	cover []uint64
 }
 
 // New builds a SEC-DED code for dataBits of payload (1..57, so the
@@ -44,6 +50,14 @@ func New(dataBits int) (*Code, error) {
 	for pos := 1; len(c.dataPos) < dataBits; pos++ {
 		if pos&(pos-1) != 0 { // not a power of two: data position
 			c.dataPos = append(c.dataPos, pos)
+		}
+	}
+	c.cover = make([]uint64, r)
+	for j := 0; j < r; j++ {
+		for pos := 1; pos <= dataBits+r; pos++ {
+			if pos&(1<<uint(j)) != 0 {
+				c.cover[j] |= 1 << uint(pos)
+			}
 		}
 	}
 	// Positions run 1..dataBits+r in Hamming numbering; shift by the
@@ -87,16 +101,11 @@ func (c *Code) Encode(data uint64) (uint64, error) {
 		}
 	}
 	// Hamming parity bits: parity bit at position 2^j covers all
-	// positions with bit j set.
+	// positions with bit j set. Its own position is still zero in cw,
+	// so the full coverage mask yields the parity of the data bits.
 	for j := 0; j < c.checkBits; j++ {
-		p := 1 << uint(j)
-		var parity uint64
-		for pos := 1; pos <= c.dataBits+c.checkBits; pos++ {
-			if pos&p != 0 && pos != p {
-				parity ^= cw >> uint(pos) & 1
-			}
-		}
-		cw |= parity << uint(p)
+		parity := uint64(bits.OnesCount64(cw&c.cover[j])) & 1
+		cw |= parity << uint(1<<uint(j))
 	}
 	// Overall parity over positions 1..N at position 0.
 	cw |= uint64(bits.OnesCount64(cw)) & 1
@@ -149,15 +158,8 @@ func (c *Code) Decode(stored uint64) (*Result, error) {
 	}
 	syndrome := 0
 	for j := 0; j < c.checkBits; j++ {
-		p := 1 << uint(j)
-		var parity uint64
-		for pos := 1; pos <= c.dataBits+c.checkBits; pos++ {
-			if pos&p != 0 {
-				parity ^= stored >> uint(pos) & 1
-			}
-		}
-		if parity != 0 {
-			syndrome |= p
+		if bits.OnesCount64(stored&c.cover[j])&1 != 0 {
+			syndrome |= 1 << uint(j)
 		}
 	}
 	overall := uint64(bits.OnesCount64(stored)) & 1

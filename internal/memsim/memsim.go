@@ -159,6 +159,7 @@ func WilsonInterval(successes, trials int, z float64) (lo, hi float64) {
 }
 
 // module is one memory module holding a (possibly corrupted) codeword.
+// Modules are owned by a worker and recycled across trials via reset.
 type module struct {
 	stored []gf.Elem
 	// stuckMask/stuckVal describe permanently forced bits per symbol.
@@ -169,18 +170,22 @@ type module struct {
 	locatedAt []float64
 }
 
-func newModule(codeword []gf.Elem) *module {
-	n := len(codeword)
-	m := &module{
-		stored:    append([]gf.Elem(nil), codeword...),
-		stuckMask: make([]uint16, n),
-		stuckVal:  make([]uint16, n),
-		locatedAt: make([]float64, n),
+// init sizes the module's buffers for n-symbol codewords.
+func (mo *module) init(n int) {
+	mo.stored = make([]gf.Elem, n)
+	mo.stuckMask = make([]uint16, n)
+	mo.stuckVal = make([]uint16, n)
+	mo.locatedAt = make([]float64, n)
+}
+
+// reset stores a fresh fault-free codeword for the next trial.
+func (mo *module) reset(codeword []gf.Elem) {
+	copy(mo.stored, codeword)
+	for i := range mo.stuckMask {
+		mo.stuckMask[i] = 0
+		mo.stuckVal[i] = 0
+		mo.locatedAt[i] = math.Inf(1)
 	}
-	for i := range m.locatedAt {
-		m.locatedAt[i] = math.Inf(1)
-	}
-	return m
 }
 
 // applyStuck forces the permanently faulted bits of symbol s.
@@ -215,15 +220,82 @@ func (mo *module) write(codeword []gf.Elem) {
 	}
 }
 
-// erasures returns the located permanent-fault positions at time t.
-func (mo *module) erasures(t float64) []int {
-	var out []int
+// erasuresInto appends the located permanent-fault positions at time t
+// to buf[:0] and returns it, so workers can recycle the backing array.
+func (mo *module) erasuresInto(buf []int, t float64) []int {
+	buf = buf[:0]
 	for s, at := range mo.locatedAt {
 		if at <= t {
-			out = append(out, s)
+			buf = append(buf, s)
 		}
 	}
-	return out
+	return buf
+}
+
+// worker owns the per-goroutine scratch of a campaign: the recycled
+// modules, the RNG (reseeded per trial for worker-count-independent
+// reproducibility), the decode workspaces and arbiter, and every
+// masking/erasure buffer — so the steady state of a campaign performs
+// no per-trial heap allocation.
+type worker struct {
+	cfg   Config
+	rng   *rand.Rand
+	sched scrub.Scheduler
+
+	dec1, dec2 *rs.Decoder      // scrub/read decode workspaces
+	arb        *arbiter.Arbiter // duplex read path (owns its own decoders)
+
+	data   []gf.Elem // dataword scratch
+	truth  []gf.Elem // ground-truth codeword
+	modBuf [2]module
+	mods   []*module
+
+	w1, w2     []gf.Elem // masked duplex words
+	set1, set2 []bool    // per-module erasure bitsets
+	shared     []int     // both-erased positions
+	e1, e2     []int     // erasure position lists
+	capSet     []bool    // exceedsCapability scratch
+}
+
+func newWorker(cfg Config) *worker {
+	code := cfg.Code
+	n, k := code.N(), code.K()
+	w := &worker{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		dec1:   code.NewDecoder(),
+		dec2:   code.NewDecoder(),
+		data:   make([]gf.Elem, k),
+		truth:  make([]gf.Elem, n),
+		w1:     make([]gf.Elem, n),
+		w2:     make([]gf.Elem, n),
+		set1:   make([]bool, n),
+		set2:   make([]bool, n),
+		shared: make([]int, 0, n),
+		e1:     make([]int, 0, n),
+		e2:     make([]int, 0, n),
+		capSet: make([]bool, n),
+	}
+	w.modBuf[0].init(n)
+	w.modBuf[1].init(n)
+	w.mods = append(w.mods, &w.modBuf[0])
+	if cfg.Duplex {
+		w.mods = append(w.mods, &w.modBuf[1])
+		arb, err := arbiter.New(code)
+		if err != nil {
+			panic(err) // code is validated
+		}
+		w.arb = arb
+	}
+	w.sched = scrub.Never{}
+	if cfg.ScrubPeriod > 0 {
+		if cfg.ExponentialScrub {
+			w.sched = &scrub.Exponential{Period: cfg.ScrubPeriod, Rng: w.rng}
+		} else {
+			w.sched = scrub.Periodic{Period: cfg.ScrubPeriod}
+		}
+	}
+	return w
 }
 
 // Run executes the campaign, distributing trials over workers. The
@@ -249,8 +321,9 @@ func Run(cfg Config) (*Result, error) {
 			defer wg.Done()
 			acc := &results[w]
 			acc.Verdicts = make(map[arbiter.Verdict]int)
+			ws := newWorker(cfg)
 			for trial := w; trial < cfg.Trials; trial += workers {
-				runTrial(cfg, trial, acc)
+				ws.runTrial(trial, acc)
 			}
 		}(w)
 	}
@@ -276,41 +349,33 @@ func Run(cfg Config) (*Result, error) {
 }
 
 // runTrial simulates one stored word (pair) from write to final read.
-func runTrial(cfg Config, trial int, acc *Result) {
-	rng := rand.New(rand.NewSource(cfg.Seed + int64(trial)*0x9E3779B9))
+func (ws *worker) runTrial(trial int, acc *Result) {
+	cfg := ws.cfg
+	// Reseeding the worker RNG per trial keeps trials independent and
+	// reproducible regardless of which worker runs them, without
+	// rebuilding the generator's state tables on the heap each time.
+	ws.rng.Seed(cfg.Seed + int64(trial)*0x9E3779B9)
+	rng := ws.rng
 	code := cfg.Code
-	n, k, m := code.N(), code.K(), code.Field().M()
+	n, m := code.N(), code.Field().M()
 
-	data := make([]gf.Elem, k)
-	for i := range data {
-		data[i] = gf.Elem(rng.Intn(code.Field().Size()))
+	for i := range ws.data {
+		ws.data[i] = gf.Elem(rng.Intn(code.Field().Size()))
 	}
-	truth, err := code.Encode(data)
-	if err != nil {
+	if err := code.EncodeTo(ws.truth, ws.data); err != nil {
 		panic(fmt.Sprintf("memsim: encode: %v", err)) // impossible for valid config
 	}
-
-	mods := []*module{newModule(truth)}
-	if cfg.Duplex {
-		mods = append(mods, newModule(truth))
-	}
-
-	var sched scrub.Scheduler = scrub.Never{}
-	if cfg.ScrubPeriod > 0 {
-		if cfg.ExponentialScrub {
-			sched = &scrub.Exponential{Period: cfg.ScrubPeriod, Rng: rng}
-		} else {
-			sched = scrub.Periodic{Period: cfg.ScrubPeriod}
-		}
+	for _, mo := range ws.mods {
+		mo.reset(ws.truth)
 	}
 
 	// Per-module stochastic rates.
 	seuRate := float64(n*m) * cfg.LambdaBit
 	permRate := float64(n) * cfg.LambdaSymbol
-	totalRate := float64(len(mods)) * (seuRate + permRate)
+	totalRate := float64(len(ws.mods)) * (seuRate + permRate)
 
 	t := 0.0
-	nextScrub := sched.Next(0)
+	nextScrub := ws.sched.Next(0)
 	for {
 		tEvent := math.Inf(1)
 		if totalRate > 0 {
@@ -318,8 +383,8 @@ func runTrial(cfg Config, trial int, acc *Result) {
 		}
 		if nextScrub < tEvent && nextScrub < cfg.Horizon {
 			t = nextScrub
-			doScrub(cfg, mods, t, truth, acc)
-			nextScrub = sched.Next(t)
+			ws.doScrub(t, acc)
+			nextScrub = ws.sched.Next(t)
 			continue
 		}
 		if tEvent >= cfg.Horizon {
@@ -327,7 +392,7 @@ func runTrial(cfg Config, trial int, acc *Result) {
 		}
 		t = tEvent
 		// Pick module, then fault type, then location.
-		mo := mods[rng.Intn(len(mods))]
+		mo := ws.mods[rng.Intn(len(ws.mods))]
 		if rng.Float64()*(seuRate+permRate) < seuRate {
 			mo.flip(rng.Intn(n), rng.Intn(m))
 			acc.SEUs++
@@ -336,33 +401,29 @@ func runTrial(cfg Config, trial int, acc *Result) {
 			acc.PermanentFaults++
 		}
 	}
-	finalRead(cfg, mods, cfg.Horizon, truth, acc)
+	ws.finalRead(cfg.Horizon, acc)
 }
 
 // maskPair performs the arbiter's erasure recovery on the two stored
-// words: positions erased in exactly one module are replaced by the
-// twin symbol; positions erased in both are returned as shared
-// erasures for the decoders.
-func maskPair(mods []*module, t float64) (w1, w2 []gf.Elem, shared []int) {
-	e1 := mods[0].erasures(t)
-	e2 := mods[1].erasures(t)
-	set1 := make(map[int]bool, len(e1))
-	for _, p := range e1 {
-		set1[p] = true
+// words into the worker's buffers: positions erased in exactly one
+// module are replaced by the twin symbol; positions erased in both are
+// returned as shared erasures for the decoders.
+func (ws *worker) maskPair(t float64) (w1, w2 []gf.Elem, shared []int) {
+	for i := range ws.set1 {
+		ws.set1[i] = ws.modBuf[0].locatedAt[i] <= t
+		ws.set2[i] = ws.modBuf[1].locatedAt[i] <= t
 	}
-	set2 := make(map[int]bool, len(e2))
-	for _, p := range e2 {
-		set2[p] = true
-	}
-	w1 = append([]gf.Elem(nil), mods[0].stored...)
-	w2 = append([]gf.Elem(nil), mods[1].stored...)
+	w1, w2 = ws.w1, ws.w2
+	copy(w1, ws.modBuf[0].stored)
+	copy(w2, ws.modBuf[1].stored)
+	shared = ws.shared[:0]
 	for i := range w1 {
 		switch {
-		case set1[i] && set2[i]:
+		case ws.set1[i] && ws.set2[i]:
 			shared = append(shared, i)
-		case set1[i]:
+		case ws.set1[i]:
 			w1[i] = w2[i]
-		case set2[i]:
+		case ws.set2[i]:
 			w2[i] = w1[i]
 		}
 	}
@@ -372,79 +433,78 @@ func maskPair(mods []*module, t float64) (w1, w2 []gf.Elem, shared []int) {
 // doScrub reads, corrects and rewrites the stored word(s) through the
 // real decoder. A detected-uncorrectable word is left untouched; a
 // mis-corrected word is entrenched (and counted).
-func doScrub(cfg Config, mods []*module, t float64, truth []gf.Elem, acc *Result) {
+func (ws *worker) doScrub(t float64, acc *Result) {
 	acc.ScrubOps++
-	code := cfg.Code
+	cfg := ws.cfg
 	if !cfg.Duplex {
-		mo := mods[0]
-		res, err := code.Decode(mo.stored, mo.erasures(t))
+		mo := ws.mods[0]
+		res, err := ws.dec1.Decode(mo.stored, mo.erasuresInto(ws.e1, t))
 		if err != nil {
 			return
 		}
 		mo.write(res.Codeword)
-		if !equalWords(res.Codeword, truth) {
+		if !equalWords(res.Codeword, ws.truth) {
 			acc.ScrubMiscorrections++
 		}
 		return
 	}
-	w1, w2, shared := maskPair(mods, t)
-	r1, err1 := code.Decode(w1, shared)
-	r2, err2 := code.Decode(w2, shared)
+	w1, w2, shared := ws.maskPair(t)
+	r1, err1 := ws.dec1.Decode(w1, shared)
+	r2, err2 := ws.dec2.Decode(w2, shared)
 	rewrite := func(mo *module, r *rs.Result) {
 		mo.write(r.Codeword)
-		if !equalWords(r.Codeword, truth) {
+		if !equalWords(r.Codeword, ws.truth) {
 			acc.ScrubMiscorrections++
 		}
 	}
 	switch {
 	case err1 == nil && err2 == nil:
-		rewrite(mods[0], r1)
-		rewrite(mods[1], r2)
+		rewrite(ws.mods[0], r1)
+		rewrite(ws.mods[1], r2)
 	case err1 == nil:
-		rewrite(mods[0], r1)
+		rewrite(ws.mods[0], r1)
 		if cfg.CrossRepair {
-			rewrite(mods[1], r1) // resurrect the dead module from the live word
+			rewrite(ws.mods[1], r1) // resurrect the dead module from the live word
 		}
 	case err2 == nil:
-		rewrite(mods[1], r2)
+		rewrite(ws.mods[1], r2)
 		if cfg.CrossRepair {
-			rewrite(mods[0], r2)
+			rewrite(ws.mods[0], r2)
 		}
 	}
 }
 
 // finalRead performs the paper's read-at-stopping-time and classifies
 // the outcome.
-func finalRead(cfg Config, mods []*module, t float64, truth []gf.Elem, acc *Result) {
+func (ws *worker) finalRead(t float64, acc *Result) {
+	cfg := ws.cfg
 	code := cfg.Code
 	if !cfg.Duplex {
-		mo := mods[0]
-		erasures := mo.erasures(t)
-		if exceedsCapability(code, mo.stored, erasures, truth) {
+		mo := ws.mods[0]
+		erasures := mo.erasuresInto(ws.e1, t)
+		if ws.exceedsCapability(mo.stored, erasures) {
 			acc.CapabilityExceeded++
 		}
-		res, err := code.Decode(mo.stored, erasures)
+		res, err := ws.dec1.Decode(mo.stored, erasures)
 		switch {
 		case err != nil:
 			acc.NoOutput++
-		case equalWords(res.Data, truth[:code.K()]):
+		case equalWords(res.Data, ws.truth[:code.K()]):
 			acc.Correct++
 		default:
 			acc.WrongOutput++
-			acc.DataBitErrors += bitErrors(res.Data, truth[:code.K()])
+			acc.DataBitErrors += bitErrors(res.Data, ws.truth[:code.K()])
 		}
 		return
 	}
 
-	w1, w2, shared := maskPair(mods, t)
-	if exceedsCapability(code, w1, shared, truth) || exceedsCapability(code, w2, shared, truth) {
+	w1, w2, shared := ws.maskPair(t)
+	if ws.exceedsCapability(w1, shared) || ws.exceedsCapability(w2, shared) {
 		acc.CapabilityExceeded++
 	}
-	arb, err := arbiter.New(code)
-	if err != nil {
-		panic(err) // code is validated
-	}
-	res, err := arb.Read(mods[0].stored, mods[1].stored, mods[0].erasures(t), mods[1].erasures(t))
+	e1 := ws.modBuf[0].erasuresInto(ws.e1, t)
+	e2 := ws.modBuf[1].erasuresInto(ws.e2, t)
+	res, err := ws.arb.Read(ws.modBuf[0].stored, ws.modBuf[1].stored, e1, e2)
 	if err != nil {
 		panic(fmt.Sprintf("memsim: arbiter: %v", err)) // inputs are structurally valid
 	}
@@ -452,29 +512,31 @@ func finalRead(cfg Config, mods []*module, t float64, truth []gf.Elem, acc *Resu
 	switch {
 	case !res.OK:
 		acc.NoOutput++
-	case equalWords(res.Data, truth[:code.K()]):
+	case equalWords(res.Data, ws.truth[:code.K()]):
 		acc.Correct++
 	default:
 		acc.WrongOutput++
-		acc.DataBitErrors += bitErrors(res.Data, truth[:code.K()])
+		acc.DataBitErrors += bitErrors(res.Data, ws.truth[:code.K()])
 	}
 }
 
 // exceedsCapability checks the ground-truth error pattern of one word
 // against 2*errors + erasures <= n-k — the condition whose violation
 // is the Markov chains' Fail event.
-func exceedsCapability(code *rs.Code, word []gf.Elem, erasures []int, truth []gf.Elem) bool {
-	erased := make(map[int]bool, len(erasures))
+func (ws *worker) exceedsCapability(word []gf.Elem, erasures []int) bool {
+	for i := range ws.capSet {
+		ws.capSet[i] = false
+	}
 	for _, p := range erasures {
-		erased[p] = true
+		ws.capSet[p] = true
 	}
 	errors := 0
 	for i := range word {
-		if !erased[i] && word[i] != truth[i] {
+		if !ws.capSet[i] && word[i] != ws.truth[i] {
 			errors++
 		}
 	}
-	return 2*errors+len(erasures) > code.Redundancy()
+	return 2*errors+len(erasures) > ws.cfg.Code.Redundancy()
 }
 
 func equalWords(a, b []gf.Elem) bool {

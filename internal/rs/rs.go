@@ -18,13 +18,33 @@
 // decoding and are exercised explicitly in the tests and the Monte
 // Carlo simulator.
 //
-// The implementation is textbook Blahut: syndromes, erasure-locator
-// initialized Berlekamp-Massey, Chien search and the Forney algorithm.
+// The implementation is textbook Blahut — syndromes, erasure-locator
+// initialized Berlekamp-Massey, Chien search and the Forney algorithm
+// — organized as streaming kernels: encoding is a parity LFSR over the
+// generator taps writing directly into the destination, and decoding
+// runs through a reusable Decoder workspace so the steady state of a
+// simulation campaign performs no heap allocation.
+//
+// # Zero-allocation contract
+//
+// EncodeTo and SyndromesInto never allocate. A Decoder obtained from
+// Code.NewDecoder owns every scratch buffer decoding needs (syndromes,
+// locator/evaluator registers, erasure bitset, corrected word) and its
+// Decode method is allocation-free on every successful path — clean
+// words, random errors, erasures — returning a Result whose slices
+// alias the workspace and stay valid only until the next call on that
+// Decoder. Prefer Decoder.Decode in hot loops (one Decoder per
+// goroutine; a Decoder is not safe for concurrent use). The
+// Code.Decode / Code.DecodeEuclidean wrappers keep the original
+// callers working: they borrow a pooled Decoder for the heavy scratch
+// and return an independent Result the caller may retain, at the cost
+// of the Result's own slices being freshly allocated.
 package rs
 
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/gf"
 	"repro/internal/gfpoly"
@@ -39,6 +59,24 @@ type Code struct {
 	k    int // dataword length in symbols
 	fcr  int // power of alpha of the first consecutive generator root
 	gen  gfpoly.Poly
+
+	// genRev[j] = gen[d-1-j]: the LFSR feedback taps in shift-register
+	// order (tap 0 multiplies into the highest-degree parity slot).
+	genRev []gf.Elem
+	// synX[j] = alpha^(fcr+j): the syndrome evaluation points.
+	synX []gf.Elem
+	// chienInit[j] = alpha^(-(n-1)*j) and chienStep[j] = alpha^j seed
+	// and advance the term registers of the incremental Chien search.
+	chienInit []gf.Elem
+	chienStep []gf.Elem
+	// chienRow[j] is the multiplication-table row of chienStep[j]
+	// (nil for fields without row tables): one load per register
+	// advance instead of a general multiply.
+	chienRow [][]gf.Elem
+
+	// decPool recycles Decoder workspaces for the allocating
+	// Decode/DecodeEuclidean wrappers.
+	decPool sync.Pool
 }
 
 // ErrUncorrectable is returned (wrapped) by Decode when the received
@@ -81,6 +119,23 @@ func NewWithFCR(f *gf.Field, n, k, fcr int) (*Code, error) {
 		g = c.ring.Mul(g, gfpoly.Poly{f.Exp(fcr + j), 1})
 	}
 	c.gen = g
+
+	d := n - k
+	c.genRev = make([]gf.Elem, d)
+	c.synX = make([]gf.Elem, d)
+	for j := 0; j < d; j++ {
+		c.genRev[j] = g.Coeff(d - 1 - j)
+		c.synX[j] = f.Exp(fcr + j)
+	}
+	c.chienInit = make([]gf.Elem, d+1)
+	c.chienStep = make([]gf.Elem, d+1)
+	c.chienRow = make([][]gf.Elem, d+1)
+	for j := 0; j <= d; j++ {
+		c.chienInit[j] = f.Exp(-(n - 1) * j)
+		c.chienStep[j] = f.Exp(j)
+		c.chienRow[j] = f.MulRow(c.chienStep[j])
+	}
+	c.decPool.New = func() any { return c.NewDecoder() }
 	return c, nil
 }
 
@@ -118,6 +173,8 @@ func (c *Code) String() string {
 }
 
 // checkSymbols verifies every symbol of w is a valid field element.
+// It is the single validation point of the public boundary: internal
+// kernels index multiplication tables by symbol value and rely on it.
 func (c *Code) checkSymbols(w []gf.Elem) error {
 	for i, s := range w {
 		if !c.f.Valid(s) {
@@ -138,7 +195,10 @@ func (c *Code) Encode(data []gf.Elem) ([]gf.Elem, error) {
 }
 
 // EncodeTo encodes data into dst, which must have length n. dst and
-// data may overlap only if dst[:k] aliases data exactly.
+// data may overlap only if dst[:k] aliases data exactly. EncodeTo
+// performs no allocation: the check symbols are produced by a parity
+// LFSR clocked once per data symbol, using dst[k:] itself as the
+// shift register.
 func (c *Code) EncodeTo(dst, data []gf.Elem) error {
 	if len(data) != c.k {
 		return fmt.Errorf("rs: dataword has %d symbols, want k=%d", len(data), c.k)
@@ -151,17 +211,92 @@ func (c *Code) EncodeTo(dst, data []gf.Elem) error {
 	}
 	// Codeword symbol i is the coefficient of x^(n-1-i): the message
 	// occupies the high-degree end, the remainder of M(x)*x^(n-k)
-	// modulo g(x) fills the check positions.
-	msg := make(gfpoly.Poly, c.n)
-	for i, s := range data {
-		msg[c.n-1-i] = s
-	}
-	rem := c.ring.Mod(msg, c.gen)
+	// modulo g(x) fills the check positions. The remainder is computed
+	// by the classic LFSR recurrence: with the monic generator
+	// g(x) = x^d + gLow(x), feeding symbol s updates the register to
+	// r <- r*x ^ fb*gLow where fb = s ^ r[top].
 	copy(dst, data)
-	for i := c.k; i < c.n; i++ {
-		dst[i] = rem.Coeff(c.n - 1 - i)
+	d := c.n - c.k
+	par := dst[c.k:] // par[j] holds the coefficient of x^(d-1-j)
+	for i := range par {
+		par[i] = 0
+	}
+	f := c.f
+	for _, s := range data {
+		fb := s ^ par[0]
+		if fb == 0 {
+			copy(par, par[1:])
+			par[d-1] = 0
+			continue
+		}
+		if row := f.MulRow(fb); row != nil {
+			for j := 0; j < d-1; j++ {
+				par[j] = par[j+1] ^ row[c.genRev[j]]
+			}
+			par[d-1] = row[c.genRev[d-1]]
+		} else {
+			for j := 0; j < d-1; j++ {
+				par[j] = par[j+1] ^ f.Mul(fb, c.genRev[j])
+			}
+			par[d-1] = f.Mul(fb, c.genRev[d-1])
+		}
 	}
 	return nil
+}
+
+// syndromes computes the n-k syndromes of word into dst without
+// validating symbols; callers must have validated word at the public
+// boundary (or produced it themselves).
+func (c *Code) syndromes(dst []gf.Elem, word []gf.Elem) {
+	f := c.f
+	// Four syndromes per pass: each Horner recurrence is a serial chain
+	// of dependent table lookups, so interleaving independent chains
+	// lets the pipeline overlap the load latencies.
+	j := 0
+	for ; j+3 < len(c.synX); j += 4 {
+		x0, x1, x2, x3 := c.synX[j], c.synX[j+1], c.synX[j+2], c.synX[j+3]
+		var a0, a1, a2, a3 gf.Elem
+		if row0 := f.MulRow(x0); row0 != nil {
+			row1, row2, row3 := f.MulRow(x1), f.MulRow(x2), f.MulRow(x3)
+			for _, s := range word {
+				a0 = row0[a0] ^ s
+				a1 = row1[a1] ^ s
+				a2 = row2[a2] ^ s
+				a3 = row3[a3] ^ s
+			}
+		} else {
+			for _, s := range word {
+				a0 = f.Mul(a0, x0) ^ s
+				a1 = f.Mul(a1, x1) ^ s
+				a2 = f.Mul(a2, x2) ^ s
+				a3 = f.Mul(a3, x3) ^ s
+			}
+		}
+		dst[j], dst[j+1], dst[j+2], dst[j+3] = a0, a1, a2, a3
+	}
+	for ; j < len(c.synX); j++ {
+		x := c.synX[j]
+		var acc gf.Elem
+		if row := f.MulRow(x); row != nil {
+			for _, s := range word {
+				acc = row[acc] ^ s
+			}
+		} else {
+			for _, s := range word {
+				acc = f.Mul(acc, x) ^ s
+			}
+		}
+		dst[j] = acc
+	}
+}
+
+func allZero(p []gf.Elem) bool {
+	for _, v := range p {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Syndromes returns the n-k syndrome values of the word:
@@ -169,24 +304,27 @@ func (c *Code) EncodeTo(dst, data []gf.Elem) error {
 // with symbol i as the coefficient of x^(n-1-i). The word is a
 // codeword iff all syndromes vanish.
 func (c *Code) Syndromes(word []gf.Elem) (gfpoly.Poly, error) {
-	if len(word) != c.n {
-		return nil, fmt.Errorf("rs: word has %d symbols, want n=%d", len(word), c.n)
-	}
-	if err := c.checkSymbols(word); err != nil {
+	syn := make(gfpoly.Poly, c.n-c.k)
+	if err := c.SyndromesInto(syn, word); err != nil {
 		return nil, err
 	}
-	d := c.n - c.k
-	syn := make(gfpoly.Poly, d)
-	for j := 0; j < d; j++ {
-		x := c.f.Exp(c.fcr + j)
-		var acc gf.Elem
-		// Horner over coefficients in descending degree = word order.
-		for _, s := range word {
-			acc = c.f.Mul(acc, x) ^ s
-		}
-		syn[j] = acc
-	}
 	return syn, nil
+}
+
+// SyndromesInto computes the n-k syndromes of word into dst, which
+// must have length n-k. It performs no allocation.
+func (c *Code) SyndromesInto(dst []gf.Elem, word []gf.Elem) error {
+	if len(dst) != c.n-c.k {
+		return fmt.Errorf("rs: syndrome destination has %d symbols, want n-k=%d", len(dst), c.n-c.k)
+	}
+	if len(word) != c.n {
+		return fmt.Errorf("rs: word has %d symbols, want n=%d", len(word), c.n)
+	}
+	if err := c.checkSymbols(word); err != nil {
+		return err
+	}
+	c.syndromes(dst, word)
+	return nil
 }
 
 // IsCodeword reports whether word is a valid codeword of c.
@@ -216,6 +354,71 @@ type Result struct {
 	ErrorPositions []int
 }
 
+// Decoder is a reusable decoding workspace for one Code. It owns every
+// scratch buffer the decoding pipeline needs, so steady-state decoding
+// through it performs no heap allocation.
+//
+// A Decoder is NOT safe for concurrent use; create one per goroutine
+// with Code.NewDecoder. The Result returned by its methods (and every
+// slice inside it) aliases the workspace and is valid only until the
+// next call on the same Decoder — callers that need to retain it must
+// copy, or use the allocating Code.Decode wrapper.
+type Decoder struct {
+	c *Code
+
+	syn    []gf.Elem // n-k syndrome register
+	gamma  []gf.Elem // erasure locator, zero-padded to d+1
+	psi    []gf.Elem // errata locator Psi = Lambda*Gamma, zero-padded
+	bprev  []gf.Elem // BM last length-change locator
+	tmp    []gf.Elem // BM update scratch
+	omega  []gf.Elem // errata evaluator Omega = S*Psi mod x^d
+	cpsi   []gf.Elem // Chien term registers for Psi
+	psiDeg int       // degree of psi after the key-equation solve
+
+	erased []bool    // erasure bitset over codeword positions
+	word   []gf.Elem // corrected word
+	errPos []int     // ErrorPositions backing store
+	res    Result
+}
+
+// NewDecoder returns a fresh decoding workspace for c.
+func (c *Code) NewDecoder() *Decoder {
+	d := c.n - c.k
+	return &Decoder{
+		c:      c,
+		syn:    make([]gf.Elem, d),
+		gamma:  make([]gf.Elem, d+1),
+		psi:    make([]gf.Elem, d+1),
+		bprev:  make([]gf.Elem, d+1),
+		tmp:    make([]gf.Elem, d+1),
+		omega:  make([]gf.Elem, d),
+		cpsi:   make([]gf.Elem, d+1),
+		erased: make([]bool, c.n),
+		word:   make([]gf.Elem, c.n),
+		errPos: make([]int, 0, c.n),
+	}
+}
+
+// Code returns the code this workspace decodes.
+func (dec *Decoder) Code() *Code { return dec.c }
+
+// Decode corrects the received word into the workspace, treating the
+// listed positions (codeword indices, 0-based) as erasures, solving
+// the key equation with erasure-initialized Berlekamp-Massey. See
+// Code.Decode for the decoding semantics and the Decoder type for the
+// aliasing contract of the returned Result.
+func (dec *Decoder) Decode(received []gf.Elem, erasures []int) (*Result, error) {
+	return dec.decode(received, erasures, false)
+}
+
+// DecodeEuclidean is Decoder.Decode with the key equation solved by
+// the Sugiyama extended-Euclidean algorithm. Unlike the BM path it
+// allocates during the solve (it is the audit implementation, not the
+// hot one); the rest of the pipeline still runs in the workspace.
+func (dec *Decoder) DecodeEuclidean(received []gf.Elem, erasures []int) (*Result, error) {
+	return dec.decode(received, erasures, true)
+}
+
 // Decode corrects the received word in place of a copy, treating the
 // listed positions (codeword indices, 0-based) as erasures. It returns
 // a Result on success and a wrapped ErrUncorrectable on a *detected*
@@ -226,9 +429,11 @@ type Result struct {
 //
 // Decode solves the key equation with erasure-initialized
 // Berlekamp-Massey; DecodeEuclidean is the independent Sugiyama
-// implementation with identical input/output behavior.
+// implementation with identical input/output behavior. Both borrow a
+// pooled Decoder for scratch and return an independent Result; hot
+// loops should hold their own Decoder and call its methods instead.
 func (c *Code) Decode(received []gf.Elem, erasures []int) (*Result, error) {
-	return c.decode(received, erasures, c.berlekampMassey)
+	return c.decodePooled(received, erasures, false)
 }
 
 // DecodeEuclidean is Decode with the key equation solved by the
@@ -238,106 +443,131 @@ func (c *Code) Decode(received []gf.Elem, erasures []int) (*Result, error) {
 // codewords — a property the tests enforce; production use can pick
 // either (BM allocates less, Euclid is easier to audit).
 func (c *Code) DecodeEuclidean(received []gf.Elem, erasures []int) (*Result, error) {
-	return c.decode(received, erasures, c.euclid)
+	return c.decodePooled(received, erasures, true)
 }
 
-// decode runs the shared decoding pipeline around a key-equation
-// solver that maps (syndromes, erasure locator, erasure count) to the
-// errata locator Psi = Lambda * Gamma.
-func (c *Code) decode(received []gf.Elem, erasures []int, solve func(gfpoly.Poly, gfpoly.Poly, int) (gfpoly.Poly, error)) (*Result, error) {
+// decodePooled runs a workspace decode on a pooled Decoder and copies
+// the Result out so the caller may retain it.
+func (c *Code) decodePooled(received []gf.Elem, erasures []int, euclid bool) (*Result, error) {
+	dec := c.decPool.Get().(*Decoder)
+	res, err := dec.decode(received, erasures, euclid)
+	if err != nil {
+		c.decPool.Put(dec)
+		return nil, err
+	}
+	out := &Result{
+		Codeword:    append([]gf.Elem(nil), res.Codeword...),
+		Corrections: res.Corrections,
+		Flag:        res.Flag,
+	}
+	out.Data = out.Codeword[:c.k]
+	if len(res.ErrorPositions) > 0 {
+		out.ErrorPositions = append([]int(nil), res.ErrorPositions...)
+	}
+	c.decPool.Put(dec)
+	return out, nil
+}
+
+// decode runs the decoding pipeline in the workspace: validate once at
+// the public boundary, syndromes, erasure locator, key-equation solve,
+// evaluator, fused incremental Chien/Forney sweep, and the final
+// syndrome re-check on the (self-produced, hence unvalidated)
+// corrected word.
+func (dec *Decoder) decode(received []gf.Elem, erasures []int, euclid bool) (*Result, error) {
+	c := dec.c
+	d := c.n - c.k
 	if len(received) != c.n {
 		return nil, fmt.Errorf("rs: word has %d symbols, want n=%d", len(received), c.n)
 	}
 	if err := c.checkSymbols(received); err != nil {
 		return nil, err
 	}
-	d := c.n - c.k
-	seen := make(map[int]bool, len(erasures))
+	for i := range dec.erased {
+		dec.erased[i] = false
+	}
 	for _, p := range erasures {
 		if p < 0 || p >= c.n {
 			return nil, fmt.Errorf("rs: erasure position %d out of range [0,%d)", p, c.n)
 		}
-		if seen[p] {
+		if dec.erased[p] {
 			return nil, fmt.Errorf("rs: duplicate erasure position %d", p)
 		}
-		seen[p] = true
+		dec.erased[p] = true
 	}
-	if len(erasures) > d {
-		return nil, fmt.Errorf("%w: %d erasures exceed n-k=%d", ErrUncorrectable, len(erasures), d)
+	rho := len(erasures)
+	if rho > d {
+		return nil, fmt.Errorf("%w: %d erasures exceed n-k=%d", ErrUncorrectable, rho, d)
 	}
 
-	syn, err := c.Syndromes(received)
-	if err != nil {
-		return nil, err
-	}
-	word := make([]gf.Elem, c.n)
-	copy(word, received)
-	if syn.IsZero() {
+	c.syndromes(dec.syn, received)
+	copy(dec.word, received)
+	if allZero(dec.syn) {
 		// Already a codeword. Erased positions hold consistent values.
-		return c.result(word, received), nil
+		return dec.buildResult(received), nil
 	}
 
-	// Erasure locator Gamma(x) = prod (1 - x*alpha^(n-1-i)).
-	positions := make([]int, len(erasures))
-	for i, p := range erasures {
-		positions[i] = c.n - 1 - p
+	// Erasure locator Gamma(x) = prod (1 - x*alpha^(n-1-i)), built by
+	// in-place multiplication with one linear factor per erasure.
+	gamma := dec.gamma
+	for i := range gamma {
+		gamma[i] = 0
 	}
-	gamma := c.ring.LocatorFromPositions(positions)
+	gamma[0] = 1
+	for deg, p := range erasures {
+		a := c.f.Exp(c.n - 1 - p)
+		for j := deg + 1; j >= 1; j-- {
+			gamma[j] ^= c.f.Mul(gamma[j-1], a)
+		}
+	}
 
-	psi, err := solve(syn, gamma, len(erasures))
+	var err error
+	if euclid {
+		err = dec.euclidSolve(rho)
+	} else {
+		err = dec.berlekampMassey(rho)
+	}
 	if err != nil {
 		return nil, err
 	}
 
 	// Errata evaluator Omega(x) = S(x)*Psi(x) mod x^(n-k).
-	omega := c.ring.ModXPow(c.ring.Mul(syn, psi), d)
-	psiDeriv := c.ring.Deriv(psi)
+	omega := dec.omega
+	for i := range omega {
+		omega[i] = 0
+	}
+	for j := 0; j <= dec.psiDeg && j < d; j++ {
+		c.f.AddMulSlice(omega[j:], dec.syn[:d-j], dec.psi[j])
+	}
 
-	// Chien search: position i (coefficient power p = n-1-i) is an
-	// errata location iff Psi(alpha^-p) = 0.
-	nroots := 0
-	for i := 0; i < c.n; i++ {
-		p := c.n - 1 - i
-		xInv := c.f.Exp(-p) // alpha^-p
-		if c.ring.Eval(psi, xInv) != 0 {
-			continue
-		}
-		nroots++
-		den := c.ring.Eval(psiDeriv, xInv)
-		if den == 0 {
-			return nil, fmt.Errorf("%w: repeated errata locator root", ErrUncorrectable)
-		}
-		num := c.ring.Eval(omega, xInv)
-		mag := c.f.Div(num, den)
-		if c.fcr != 1 {
-			// General Forney: Y = X^(1-fcr) * Omega(1/X) / Psi'(1/X).
-			mag = c.f.Mul(mag, c.f.Pow(c.f.Exp(p), 1-c.fcr))
-		}
-		word[i] ^= mag
-	}
-	if nroots != psi.Degree() {
-		// Some locator roots fall outside the (possibly shortened)
-		// codeword: the error pattern exceeded the capability.
-		return nil, fmt.Errorf("%w: errata locator has %d roots in word, degree %d", ErrUncorrectable, nroots, psi.Degree())
-	}
-	// Re-check: a successful bounded-distance decode must land on a
-	// codeword; anything else is a detected failure.
-	check, err := c.Syndromes(word)
+	nroots, err := dec.chienForney()
 	if err != nil {
 		return nil, err
 	}
-	if !check.IsZero() {
+	if nroots != dec.psiDeg {
+		// Some locator roots fall outside the (possibly shortened)
+		// codeword: the error pattern exceeded the capability.
+		return nil, fmt.Errorf("%w: errata locator has %d roots in word, degree %d", ErrUncorrectable, nroots, dec.psiDeg)
+	}
+	// Re-check: a successful bounded-distance decode must land on a
+	// codeword; anything else is a detected failure. The sweep folded
+	// every correction into the syndrome register, so the register now
+	// holds the corrected word's syndromes without re-scanning it.
+	if !allZero(dec.syn) {
 		return nil, fmt.Errorf("%w: residual syndromes after correction", ErrUncorrectable)
 	}
-	return c.result(word, received), nil
+	return dec.buildResult(received), nil
 }
 
-// result assembles a Result by diffing the corrected word against the
-// received one.
-func (c *Code) result(word, received []gf.Elem) *Result {
-	res := &Result{Codeword: word, Data: word[:c.k]}
-	for i := range word {
-		if word[i] != received[i] {
+// buildResult assembles the workspace Result by diffing the corrected
+// word against the received one.
+func (dec *Decoder) buildResult(received []gf.Elem) *Result {
+	res := &dec.res
+	res.Codeword = dec.word
+	res.Data = dec.word[:dec.c.k]
+	res.Corrections = 0
+	res.ErrorPositions = dec.errPos[:0]
+	for i, w := range dec.word {
+		if w != received[i] {
 			res.Corrections++
 			res.ErrorPositions = append(res.ErrorPositions, i)
 		}
@@ -346,69 +576,170 @@ func (c *Code) result(word, received []gf.Elem) *Result {
 	return res
 }
 
+// chienForney sweeps the codeword positions with the incremental form
+// of the Chien search: term register j holds Psi_j * x^j at the
+// current evaluation point x = alpha^-(n-1-i) and advances by one
+// constant multiply (alpha^j) per position — no polynomial evaluation
+// from scratch anywhere in the sweep. The Forney magnitude is fused
+// into the same sweep: at a root hit the derivative comes for free
+// from the odd-index partial sum (in characteristic 2,
+// x*Psi'(x) = sum over odd j of Psi_j x^j), the evaluator numerator is
+// a short Horner over Omega's true degree, and dec.word is corrected
+// immediately. Returns the number of locator roots found.
+func (dec *Decoder) chienForney() (int, error) {
+	c, f := dec.c, dec.c.f
+	deg := dec.psiDeg
+	omega := dec.omega
+	omegaDeg := len(omega) - 1
+	for omegaDeg >= 0 && omega[omegaDeg] == 0 {
+		omegaDeg--
+	}
+	tp := dec.cpsi
+	for j := 0; j <= deg; j++ {
+		tp[j] = f.Mul(dec.psi[j], c.chienInit[j])
+	}
+	nroots := 0
+	for i := 0; i < c.n && nroots < deg; i++ {
+		// Psi(xInv) splits into even/odd partial sums; their XOR is the
+		// full evaluation and the odd half carries the derivative.
+		var even, odd gf.Elem
+		for j := 0; j <= deg; j += 2 {
+			even ^= tp[j]
+		}
+		for j := 1; j <= deg; j += 2 {
+			odd ^= tp[j]
+		}
+		if even == odd {
+			// Position i (coefficient power p = n-1-i) is an errata
+			// location: Psi(alpha^-p) = 0.
+			nroots++
+			if odd == 0 {
+				return 0, fmt.Errorf("%w: repeated errata locator root", ErrUncorrectable)
+			}
+			p := c.n - 1 - i
+			xInv := f.Exp(-p)
+			var num gf.Elem
+			for j := omegaDeg; j >= 0; j-- {
+				num = f.Mul(num, xInv) ^ omega[j]
+			}
+			x := f.Exp(p)
+			// odd = xInv * Psi'(xInv), so the derivative is odd * x.
+			mag := f.Div(num, f.Mul(odd, x))
+			if c.fcr != 1 {
+				// General Forney: Y = X^(1-fcr) * Omega(1/X) / Psi'(1/X).
+				mag = f.Mul(mag, f.Pow(x, 1-c.fcr))
+			}
+			dec.word[i] ^= mag
+			// Fold the correction into the syndrome register by
+			// linearity: S_j of a single errata of magnitude mag at
+			// coefficient power p is mag * alpha^((fcr+j)*p). After the
+			// sweep the register holds the syndromes of the corrected
+			// word, making the final codeword check O(d * roots)
+			// instead of a full O(n*d) re-scan.
+			t := f.Mul(mag, f.Exp(c.fcr*p))
+			for j := range dec.syn {
+				dec.syn[j] ^= t
+				t = f.Mul(t, x)
+			}
+		}
+		if rows := c.chienRow; rows[0] != nil {
+			for j := 1; j <= deg; j++ {
+				tp[j] = rows[j][tp[j]]
+			}
+		} else {
+			for j := 1; j <= deg; j++ {
+				tp[j] = f.Mul(tp[j], c.chienStep[j])
+			}
+		}
+	}
+	return nroots, nil
+}
+
 // berlekampMassey runs the erasure-initialized Berlekamp-Massey
-// algorithm over the syndromes and returns the errata locator
-// Psi = Lambda * Gamma. rho is the erasure count; gamma the erasure
-// locator. A detected capability overflow returns ErrUncorrectable.
+// algorithm over the workspace syndromes and leaves the errata locator
+// Psi = Lambda * Gamma in dec.psi (rho is the erasure count; dec.gamma
+// holds the erasure locator). A detected capability overflow returns
+// ErrUncorrectable. The solve is allocation-free: the three locator
+// registers rotate among the workspace buffers instead of being
+// reallocated per length change.
 //
 // This is the canonical Massey formulation with an explicit register
 // length L (initialized to rho) rather than polynomial degrees, which
 // is essential at full capability where degree bookkeeping and
 // register length diverge.
-func (c *Code) berlekampMassey(syn gfpoly.Poly, gamma gfpoly.Poly, rho int) (gfpoly.Poly, error) {
+func (dec *Decoder) berlekampMassey(rho int) error {
+	c, f := dec.c, dec.c.f
 	d := c.n - c.k
-	lambda := gamma.Clone()
-	if lambda == nil {
-		lambda = gfpoly.One()
-	}
-	bpoly := lambda.Clone() // last length-change locator
-	bdelta := gf.Elem(1)    // discrepancy at last length change
-	shift := 1              // x-power accumulated since last length change
-	length := rho           // current errata register length
+	lambda, bprev, tmp := dec.psi, dec.bprev, dec.tmp
+	copy(lambda, dec.gamma)
+	copy(bprev, dec.gamma)
+	bdelta := gf.Elem(1) // discrepancy at last length change
+	shift := 1           // x-power accumulated since last length change
+	length := rho        // current errata register length
 
 	for k := rho; k < d; k++ {
 		// Discrepancy delta = sum_j Lambda_j * S_(k-j).
 		var delta gf.Elem
-		for j := 0; j <= lambda.Degree() && j <= k; j++ {
-			delta ^= c.f.Mul(lambda.Coeff(j), syn.Coeff(k-j))
+		hi := k
+		if hi > d {
+			hi = d
+		}
+		for j := 0; j <= hi; j++ {
+			delta ^= f.Mul(lambda[j], dec.syn[k-j])
 		}
 		if delta == 0 {
 			shift++
 			continue
 		}
-		next := c.ring.Add(lambda, c.ring.Scale(c.ring.MulXPow(bpoly, shift), c.f.Div(delta, bdelta)))
+		// tmp = lambda + (delta/bdelta) * x^shift * bprev.
+		copy(tmp, lambda)
+		if shift <= d {
+			f.AddMulSlice(tmp[shift:], bprev[:d+1-shift], f.Div(delta, bdelta))
+		}
 		if 2*length <= k+rho {
-			bpoly = lambda
+			// Length change: the old lambda becomes the reference
+			// register; the old reference buffer becomes scratch.
+			lambda, bprev, tmp = tmp, lambda, bprev
 			bdelta = delta
 			length = k + 1 + rho - length
 			shift = 1
 		} else {
+			lambda, tmp = tmp, lambda
 			shift++
 		}
-		lambda = next
+	}
+	dec.psi, dec.bprev, dec.tmp = lambda, bprev, tmp
+	deg := -1
+	for j := d; j >= 0; j-- {
+		if lambda[j] != 0 {
+			deg = j
+			break
+		}
 	}
 	errs := length - rho
-	if errs < 0 || 2*errs+rho > d || lambda.Degree() != length {
-		return nil, fmt.Errorf("%w: %d errors with %d erasures exceed n-k=%d", ErrUncorrectable, errs, rho, d)
+	if errs < 0 || 2*errs+rho > d || deg != length {
+		return fmt.Errorf("%w: %d errors with %d erasures exceed n-k=%d", ErrUncorrectable, errs, rho, d)
 	}
-	return lambda, nil
+	dec.psiDeg = deg
+	return nil
 }
 
-// euclid solves the key equation by the Sugiyama extended-Euclidean
-// algorithm: run Euclid on (x^d, Xi) where Xi = S*Gamma mod x^d are
-// the modified syndromes, stopping when the remainder degree drops
-// below (d+rho)/2; the accumulated multiplier is the error locator
-// Lambda, and Psi = Lambda * Gamma.
-func (c *Code) euclid(syn gfpoly.Poly, gamma gfpoly.Poly, rho int) (gfpoly.Poly, error) {
+// euclidSolve solves the key equation by the Sugiyama
+// extended-Euclidean algorithm: run Euclid on (x^d, Xi) where
+// Xi = S*Gamma mod x^d are the modified syndromes, stopping when the
+// remainder degree drops below (d+rho)/2; the accumulated multiplier
+// is the error locator Lambda, and Psi = Lambda * Gamma is left in
+// dec.psi. Unlike the BM path it allocates (gfpoly arithmetic): it is
+// the independently-auditable reference solver, not the hot one.
+func (dec *Decoder) euclidSolve(rho int) error {
+	c := dec.c
 	d := c.n - c.k
-	g := gamma.Clone()
-	if g == nil {
-		g = gfpoly.One()
-	}
-	xi := c.ring.ModXPow(c.ring.Mul(syn, g), d)
+	ring := c.ring
+	g := gfpoly.Poly(dec.gamma).Clone()
+	xi := ring.ModXPow(ring.Mul(gfpoly.Poly(dec.syn), g), d)
 	if xi.IsZero() {
 		// All errata sit in erased positions: Lambda = 1.
-		return g, nil
+		return dec.setPsi(g)
 	}
 	rPrev := gfpoly.Monomial(d, 1)
 	rCur := xi
@@ -416,9 +747,9 @@ func (c *Code) euclid(syn gfpoly.Poly, gamma gfpoly.Poly, rho int) (gfpoly.Poly,
 	tCur := gfpoly.One()
 	stop := (d + rho) / 2
 	for rCur.Degree() >= stop {
-		quo, rem := c.ring.DivMod(rPrev, rCur)
+		quo, rem := ring.DivMod(rPrev, rCur)
 		rPrev, rCur = rCur, rem
-		tPrev, tCur = tCur, c.ring.Add(tPrev, c.ring.Mul(quo, tCur))
+		tPrev, tCur = tCur, ring.Add(tPrev, ring.Mul(quo, tCur))
 		if rCur.IsZero() {
 			break
 		}
@@ -426,12 +757,26 @@ func (c *Code) euclid(syn gfpoly.Poly, gamma gfpoly.Poly, rho int) (gfpoly.Poly,
 	lambda := tCur
 	l0 := lambda.Coeff(0)
 	if l0 == 0 {
-		return nil, fmt.Errorf("%w: euclid locator has zero constant term", ErrUncorrectable)
+		return fmt.Errorf("%w: euclid locator has zero constant term", ErrUncorrectable)
 	}
-	lambda = c.ring.Scale(lambda, c.f.Inv(l0))
+	lambda = ring.Scale(lambda, c.f.Inv(l0))
 	errs := lambda.Degree()
 	if 2*errs+rho > d {
-		return nil, fmt.Errorf("%w: %d errors with %d erasures exceed n-k=%d", ErrUncorrectable, errs, rho, d)
+		return fmt.Errorf("%w: %d errors with %d erasures exceed n-k=%d", ErrUncorrectable, errs, rho, d)
 	}
-	return c.ring.Mul(lambda, g), nil
+	return dec.setPsi(ring.Mul(lambda, g))
+}
+
+// setPsi copies a solver-produced errata locator into the workspace.
+func (dec *Decoder) setPsi(psi gfpoly.Poly) error {
+	d := dec.c.n - dec.c.k
+	deg := psi.Degree()
+	if deg > d {
+		return fmt.Errorf("%w: errata locator degree %d exceeds n-k=%d", ErrUncorrectable, deg, d)
+	}
+	for i := range dec.psi {
+		dec.psi[i] = psi.Coeff(i)
+	}
+	dec.psiDeg = deg
+	return nil
 }
