@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const benchText = `goos: linux
+goarch: amd64
+pkg: repro/internal/rs
+cpu: Intel(R) Xeon(R)
+BenchmarkEncode/RS(18,16)-8         	10000000	       112.0 ns/op	     160.71 MB/s	       0 B/op	       0 allocs/op
+BenchmarkDecodeClean/RS(18,16)-8    	 5000000	       185.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkDecodeErrors/RS(36,16)/e=10-8	  100000	      4796 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro/internal/rs	12.3s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(benchText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	e, ok := got["BenchmarkEncode/RS(18,16)"]
+	if !ok {
+		t.Fatalf("proc suffix not stripped: %v", got)
+	}
+	if e.NsPerOp != 112.0 || e.AllocsPerOp != 0 {
+		t.Errorf("encode entry %+v", e)
+	}
+	if e := got["BenchmarkDecodeErrors/RS(36,16)/e=10"]; e.NsPerOp != 4796 {
+		t.Errorf("decode-errors entry %+v", e)
+	}
+}
+
+func TestParseBenchFoldsRepeats(t *testing.T) {
+	// -count=N repeats fold into min ns/op (one-sided noise) and max
+	// allocs/op (conservative gate).
+	text := "BenchmarkX-8 100 100 ns/op 1 allocs/op\nBenchmarkX-8 100 300 ns/op 3 allocs/op\n"
+	got, err := parseBench(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := got["BenchmarkX"]; e.NsPerOp != 100 || e.AllocsPerOp != 3 {
+		t.Errorf("folded entry %+v", e)
+	}
+}
+
+func TestCompareGates(t *testing.T) {
+	base := map[string]Entry{
+		"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 0},
+		"BenchmarkB": {NsPerOp: 100, AllocsPerOp: 2},
+		"BenchmarkC": {NsPerOp: 100, AllocsPerOp: 0},
+		"BenchmarkD": {NsPerOp: 100, AllocsPerOp: 0},
+	}
+	current := map[string]Entry{
+		"BenchmarkA": {NsPerOp: 120, AllocsPerOp: 0}, // +20% < 25%: ok
+		"BenchmarkB": {NsPerOp: 90, AllocsPerOp: 3},  // alloc regression
+		"BenchmarkC": {NsPerOp: 210, AllocsPerOp: 0}, // 2.1x slowdown
+		// BenchmarkD missing: skipped, not failed.
+	}
+	var buf bytes.Buffer
+	failures, compared := compare(base, current, 0.25, false, &buf)
+	if compared != 3 {
+		t.Errorf("compared %d, want 3", compared)
+	}
+	if failures != 2 {
+		t.Errorf("failures = %d, want 2 (alloc + latency):\n%s", failures, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "FAIL BenchmarkB") || !strings.Contains(out, "allocs 2 -> 3") {
+		t.Errorf("alloc regression not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "FAIL BenchmarkC") {
+		t.Errorf("latency regression not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "SKIP BenchmarkD") {
+		t.Errorf("missing benchmark not reported as skip:\n%s", out)
+	}
+
+	// An injected 2x slowdown must fail the gate — the acceptance
+	// criterion for the CI bench job.
+	buf.Reset()
+	doubled := map[string]Entry{"BenchmarkA": {NsPerOp: 200, AllocsPerOp: 0}}
+	failures, _ = compare(map[string]Entry{"BenchmarkA": {NsPerOp: 100}}, doubled, 0.25, false, &buf)
+	if failures != 1 {
+		t.Errorf("2x slowdown not caught:\n%s", buf.String())
+	}
+
+	// allocs-only mode ignores the latency gate.
+	buf.Reset()
+	failures, _ = compare(map[string]Entry{"BenchmarkA": {NsPerOp: 100}}, doubled, 0.25, true, &buf)
+	if failures != 0 {
+		t.Errorf("allocs-only mode still gated latency:\n%s", buf.String())
+	}
+}

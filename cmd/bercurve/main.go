@@ -1,6 +1,7 @@
 // Command bercurve evaluates the BER(t) trajectory of one configured
 // memory system through the paper's Markov models and prints it as a
-// TSV table or an ASCII plot.
+// TSV table or an ASCII plot. The grid points are solved as sharded
+// trials on the shared internal/campaign engine.
 //
 // Examples:
 //
@@ -13,8 +14,8 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/core"
-	"repro/internal/reliability"
+	"repro/internal/campaign"
+	"repro/internal/campaign/spec"
 	"repro/internal/textplot"
 )
 
@@ -31,61 +32,43 @@ func main() {
 		months      = flag.Float64("months", 0, "storage horizon in months (overrides -hours)")
 		points      = flag.Int("points", 13, "number of evaluation points")
 		plot        = flag.Bool("plot", false, "render an ASCII plot instead of TSV")
+		workers     = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-
-	var arr core.Arrangement
-	switch *arrangement {
-	case "simplex":
-		arr = core.Simplex
-	case "duplex":
-		arr = core.Duplex
-	default:
-		fmt.Fprintf(os.Stderr, "bercurve: unknown arrangement %q\n", *arrangement)
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "bercurve: unexpected arguments %q\n", flag.Args())
 		os.Exit(2)
 	}
 
-	horizon := *hours
-	xLabel := "hours"
-	if *months > 0 {
-		horizon = reliability.Months(*months)
-		xLabel = "months"
-	}
-	if horizon <= 0 {
-		fmt.Fprintln(os.Stderr, "bercurve: set a horizon with -hours or -months")
-		os.Exit(2)
-	}
-	grid, err := reliability.HoursRange(0, horizon, *points)
+	scn, err := spec.NewBERCurve(spec.BERCurveParams{
+		Arrangement: *arrangement,
+		N:           *n, K: *k, M: *m,
+		SEUPerBit:  *seu,
+		PermPerSym: *perm,
+		ScrubSec:   *scrubSec,
+		Hours:      *hours,
+		Months:     *months,
+		Points:     *points,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bercurve: %v\n", err)
 		os.Exit(2)
 	}
-
-	cfg := core.Config{
-		Arrangement:         arr,
-		Code:                core.CodeSpec{N: *n, K: *k, M: *m},
-		SEUPerBitDay:        *seu,
-		ErasurePerSymbolDay: *perm,
-		ScrubPeriodSeconds:  *scrubSec,
-	}
-	curve, err := core.Evaluate(cfg, grid)
+	// One grid point per shard, so the (few, independent) chain
+	// solves actually spread across the worker pool.
+	cres, err := campaign.Run(scn, campaign.Config{Workers: *workers, ShardSize: 1})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bercurve: %v\n", err)
 		os.Exit(1)
 	}
 
-	x := grid
-	if xLabel == "months" {
-		x = make([]float64, len(grid))
-		for i, h := range grid {
-			x[i] = h / reliability.HoursPerMonth
-		}
-	}
-	series := []textplot.Series{{Label: cfg.String(), X: x, Y: curve.BER}}
+	xs, ys := cres.SeriesPoints(spec.SeriesBER)
+	cfg := scn.Config()
+	series := []textplot.Series{{Label: cfg.String(), X: xs, Y: ys}}
 	if *plot {
 		p := textplot.Plot{
 			Title:  cfg.String(),
-			XLabel: xLabel,
+			XLabel: scn.XLabel(),
 			YLabel: "BER",
 			LogY:   true,
 			Series: series,
@@ -93,7 +76,7 @@ func main() {
 		fmt.Print(p.Render())
 		return
 	}
-	if err := textplot.WriteTSV(os.Stdout, xLabel, series); err != nil {
+	if err := textplot.WriteTSV(os.Stdout, scn.XLabel(), series); err != nil {
 		fmt.Fprintf(os.Stderr, "bercurve: %v\n", err)
 		os.Exit(1)
 	}

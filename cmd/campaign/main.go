@@ -1,0 +1,127 @@
+// Command campaign runs a declarative multi-scenario spec file on the
+// shared experiment engine: Monte Carlo fault injection, multi-bit
+// upset comparisons, analytic BER curves, design-space sweeps and
+// whole registry experiments, all sharded over a worker pool with
+// deterministic seeding, optional checkpointing, early stopping and
+// pass/fail tolerance bands.
+//
+// Usage:
+//
+//	campaign -spec examples/campaign/spec.json
+//	campaign -spec examples/campaign/nightly.json -out results/
+//	campaign -spec spec.json -list
+//
+// With -out, every scenario additionally writes <name>.json (the raw
+// engine result) and <name>.csv (counters and samples) into the
+// directory. The exit status is non-zero if any scenario fails to
+// build or run, or if any expectation band is violated — which is
+// what lets CI gate on probability drift.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/campaign"
+	"repro/internal/campaign/spec"
+	"repro/internal/expdata"
+)
+
+func main() {
+	var (
+		specPath = flag.String("spec", "", "campaign spec file (JSON); required")
+		outDir   = flag.String("out", "", "directory for per-scenario JSON/CSV results")
+		workers  = flag.Int("workers", 0, "override the spec's worker count (0 = keep)")
+		list     = flag.Bool("list", false, "list the spec's scenarios and exit")
+		quiet    = flag.Bool("q", false, "suppress per-scenario rendering, print only verdicts")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "campaign: unexpected arguments %q\n", flag.Args())
+		os.Exit(2)
+	}
+	if *specPath == "" {
+		fmt.Fprintln(os.Stderr, "campaign: -spec is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := spec.Load(*specPath)
+	if err != nil {
+		fatal(err)
+	}
+	if *workers > 0 {
+		f.Workers = *workers
+	}
+	built, err := f.BuildAll()
+	if err != nil {
+		fatal(err)
+	}
+	if *list {
+		for _, b := range built {
+			fmt.Printf("%-20s %-12s %s\n", b.Entry.Name, b.Entry.Kind, b.Scenario.Name())
+		}
+		return
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	failures := 0
+	for _, b := range built {
+		fmt.Printf("=== %s (%s, %d trials) ===\n", b.Entry.Name, b.Entry.Kind, b.Scenario.Trials())
+		cres, err := campaign.Run(b.Scenario, b.EngineConfig(f))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campaign: %s: %v\n", b.Entry.Name, err)
+			failures++
+			continue
+		}
+		if !*quiet {
+			if err := b.Render(os.Stdout, cres); err != nil {
+				fmt.Fprintf(os.Stderr, "campaign: %s: render: %v\n", b.Entry.Name, err)
+				failures++
+			}
+		}
+		for _, err := range b.CheckExpectations(cres) {
+			fmt.Fprintf(os.Stderr, "campaign: EXPECTATION FAILED: %v\n", err)
+			failures++
+		}
+		if *outDir != "" {
+			if err := writeArtifacts(*outDir, b.Entry.Name, cres); err != nil {
+				fmt.Fprintf(os.Stderr, "campaign: %s: %v\n", b.Entry.Name, err)
+				failures++
+			}
+		}
+		fmt.Println()
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "campaign: %d failure(s)\n", failures)
+		os.Exit(1)
+	}
+}
+
+func writeArtifacts(dir, name string, cres *campaign.Result) error {
+	data, err := json.MarshalIndent(cres, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, name+".json"), append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	csvFile, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer csvFile.Close()
+	return expdata.WriteCampaignCSV(csvFile, cres)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+	os.Exit(1)
+}

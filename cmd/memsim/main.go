@@ -10,15 +10,22 @@
 // Rates here are per HOUR (simulation units); use elevated rates so a
 // modest trial count resolves the failure probability, exactly like
 // the cross-validation experiment (see DESIGN.md).
+//
+// The simulation runs on the shared internal/campaign engine, which
+// adds resumable checkpointing (-checkpoint) and early stopping once
+// the capability-exceeded estimate is resolved (-stop-rel), plus
+// machine-readable output (-json).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 
 	"repro/internal/arbiter"
+	"repro/internal/campaign"
 	"repro/internal/duplex"
 	"repro/internal/gf"
 	"repro/internal/memsim"
@@ -28,21 +35,29 @@ import (
 
 func main() {
 	var (
-		dup       = flag.Bool("duplex", false, "simulate the duplex arrangement")
-		n         = flag.Int("n", 18, "codeword symbols")
-		k         = flag.Int("k", 16, "dataword symbols")
-		m         = flag.Int("m", 8, "bits per symbol")
-		lambdaBit = flag.Float64("lambda-bit", 0, "SEU rate per bit per hour")
-		lambdaSym = flag.Float64("lambda-sym", 0, "permanent fault rate per symbol per hour")
-		scrub     = flag.Float64("scrub", 0, "scrub period in hours (0 = off)")
-		expScrub  = flag.Bool("exp-scrub", false, "exponential instead of periodic scrub intervals")
-		latency   = flag.Float64("latency", 0, "permanent-fault detection latency in hours")
-		horizon   = flag.Float64("horizon", 48, "storage time in hours")
-		trials    = flag.Int("trials", 10000, "number of independent trials")
-		seed      = flag.Int64("seed", 1, "base random seed")
-		workers   = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		dup        = flag.Bool("duplex", false, "simulate the duplex arrangement")
+		n          = flag.Int("n", 18, "codeword symbols")
+		k          = flag.Int("k", 16, "dataword symbols")
+		m          = flag.Int("m", 8, "bits per symbol")
+		lambdaBit  = flag.Float64("lambda-bit", 0, "SEU rate per bit per hour")
+		lambdaSym  = flag.Float64("lambda-sym", 0, "permanent fault rate per symbol per hour")
+		scrub      = flag.Float64("scrub", 0, "scrub period in hours (0 = off)")
+		expScrub   = flag.Bool("exp-scrub", false, "exponential instead of periodic scrub intervals")
+		latency    = flag.Float64("latency", 0, "permanent-fault detection latency in hours")
+		horizon    = flag.Float64("horizon", 48, "storage time in hours")
+		trials     = flag.Int("trials", 10000, "number of independent trials")
+		seed       = flag.Int64("seed", 1, "base random seed")
+		workers    = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		checkpoint = flag.String("checkpoint", "", "resumable-progress file for long campaigns")
+		stopRel    = flag.Float64("stop-rel", 0, "stop once the capability-exceeded 95% CI half-width is below this fraction of the estimate (0 = run all trials)")
+		stopMin    = flag.Int("stop-min", 1000, "minimum trials before early stopping")
+		jsonOut    = flag.Bool("json", false, "emit the raw campaign result as JSON instead of text")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "memsim: unexpected arguments %q\n", flag.Args())
+		os.Exit(2)
+	}
 
 	field, err := gf.NewField(*m)
 	if err != nil {
@@ -65,14 +80,37 @@ func main() {
 		Seed:             *seed,
 		Workers:          *workers,
 	}
-	res, err := memsim.Run(cfg)
+	ecfg := campaign.Config{Checkpoint: *checkpoint}
+	if *stopRel > 0 {
+		ecfg.Stop = &campaign.EarlyStop{
+			Counter:      memsim.CounterCapabilityExceeded,
+			RelHalfWidth: *stopRel,
+			MinTrials:    *stopMin,
+		}
+	}
+	res, cres, err := memsim.RunCampaign(cfg, ecfg)
 	if err != nil {
 		fatal(err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(cres); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	fmt.Printf("code:            %v  (%s)\n", code, map[bool]string{true: "duplex", false: "simplex"}[*dup])
 	fmt.Printf("trials:          %d over %g h (lambda_bit=%g/h, lambda_sym=%g/h)\n",
 		res.Trials, *horizon, *lambdaBit, *lambdaSym)
+	if cres.EarlyStopped {
+		fmt.Printf("early stop:      after %d of %d requested trials (CI half-width <= %g of estimate)\n",
+			cres.Trials, cres.Requested, *stopRel)
+	}
+	if cres.ResumedTrials > 0 {
+		fmt.Printf("resumed:         %d trials restored from %s\n", cres.ResumedTrials, *checkpoint)
+	}
 	fmt.Printf("faults injected: %d SEUs, %d permanent\n", res.SEUs, res.PermanentFaults)
 	if res.ScrubOps > 0 {
 		fmt.Printf("scrubs:          %d passes, %d entrenched mis-corrections\n",

@@ -34,6 +34,10 @@ func main() {
 		quiet = flag.Bool("q", false, "only print the decode verdict")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "rscodec: unexpected arguments %q\n", flag.Args())
+		os.Exit(2)
+	}
 
 	if *m != 8 {
 		fatal(errors.New("hex I/O supports m=8 only"))

@@ -1,13 +1,14 @@
 // Command sweep regenerates the paper's evaluation artifacts —
 // Figures 5-10, the Section 6 decoder cost comparison and the
 // model-vs-simulation cross-validation — from the experiment registry
-// in internal/expdata.
+// in internal/expdata. The experiments run as sharded trials on the
+// shared internal/campaign engine.
 //
 // Usage:
 //
 //	sweep                 # run every experiment, print ASCII plots
 //	sweep -exp fig7       # run one experiment
-//	sweep -out results/   # additionally write <id>.tsv and <id>.txt
+//	sweep -out results/   # additionally write <id>.tsv/.txt/.json/.csv
 //	sweep -list           # list experiment IDs and exit
 package main
 
@@ -18,17 +19,23 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/expdata"
 	"repro/internal/textplot"
 )
 
 func main() {
 	var (
-		expID  = flag.String("exp", "", "run a single experiment by ID (default: all)")
-		outDir = flag.String("out", "", "directory for TSV tables and rendered plots")
-		list   = flag.Bool("list", false, "list experiment IDs and exit")
+		expID   = flag.String("exp", "", "run a single experiment by ID (default: all)")
+		outDir  = flag.String("out", "", "directory for TSV tables and rendered plots")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: unexpected arguments %q\n", flag.Args())
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, e := range expdata.All() {
@@ -53,14 +60,28 @@ func main() {
 		}
 	}
 
-	for _, e := range experiments {
+	scn, err := expdata.Scenario("sweep", experiments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
+	// One experiment per shard: independent experiments run in
+	// parallel and a failure is attributed to its experiment.
+	cres, err := campaign.Run(scn, campaign.Config{Workers: *workers, ShardSize: 1})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
+	results, err := expdata.ResultsFromCampaign(experiments, cres)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
+
+	for i, e := range experiments {
+		res := results[i]
 		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
 		fmt.Println(e.Description)
-		res, err := e.Run()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "sweep: %s: %v\n", e.ID, err)
-			os.Exit(1)
-		}
 		rendered := res.Plot(e.Title).Render()
 		fmt.Println(rendered)
 		for _, note := range res.Notes {
@@ -69,7 +90,7 @@ func main() {
 		fmt.Println()
 
 		if *outDir != "" {
-			if err := writeArtifacts(*outDir, e.ID, res, rendered); err != nil {
+			if err := writeArtifacts(*outDir, e, res, rendered); err != nil {
 				fmt.Fprintf(os.Stderr, "sweep: %s: %v\n", e.ID, err)
 				os.Exit(1)
 			}
@@ -77,8 +98,8 @@ func main() {
 	}
 }
 
-func writeArtifacts(dir, id string, res *expdata.Result, rendered string) error {
-	tsv, err := os.Create(filepath.Join(dir, id+".tsv"))
+func writeArtifacts(dir string, e expdata.Experiment, res *expdata.Result, rendered string) error {
+	tsv, err := os.Create(filepath.Join(dir, e.ID+".tsv"))
 	if err != nil {
 		return err
 	}
@@ -92,5 +113,23 @@ func writeArtifacts(dir, id string, res *expdata.Result, rendered string) error 
 	for _, note := range res.Notes {
 		fmt.Fprintf(&b, "note: %s\n", note)
 	}
-	return os.WriteFile(filepath.Join(dir, id+".txt"), []byte(b.String()), 0o644)
+	if err := os.WriteFile(filepath.Join(dir, e.ID+".txt"), []byte(b.String()), 0o644); err != nil {
+		return err
+	}
+
+	jsonFile, err := os.Create(filepath.Join(dir, e.ID+".json"))
+	if err != nil {
+		return err
+	}
+	defer jsonFile.Close()
+	if err := expdata.WriteJSON(jsonFile, e.ID, e.Title, res); err != nil {
+		return err
+	}
+
+	csvFile, err := os.Create(filepath.Join(dir, e.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer csvFile.Close()
+	return expdata.WriteCSV(csvFile, res)
 }

@@ -4,7 +4,9 @@
 // horizon, the mean time to data loss, the decoder latency and area,
 // and the storage overhead. The paper's three designs — simplex
 // RS(18,16), duplex RS(18,16) and simplex RS(36,16) — appear as rows
-// of the sweep.
+// of the sweep. Candidates are evaluated as sharded trials on the
+// shared internal/campaign engine; any evaluation error aborts the
+// sweep with a non-zero exit status.
 //
 // Example:
 //
@@ -14,11 +16,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math"
 	"os"
 
-	"repro/internal/complexity"
-	"repro/internal/core"
+	"repro/internal/campaign"
+	"repro/internal/campaign/spec"
 )
 
 func main() {
@@ -31,61 +32,35 @@ func main() {
 		hours   = flag.Float64("hours", 48, "mission horizon in hours for the BER column")
 		maxRed  = flag.Int("max-red", 20, "maximum redundancy n-k to sweep (even steps)")
 		duplexD = flag.Int("duplex-max-red", 8, "maximum n-k for duplex rows (state space grows fast)")
+		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-
-	fmt.Printf("design space for k=%d data symbols (m=%d), lambda=%g/bit/day, lambdaE=%g/sym/day, Tsc=%gs, horizon %gh\n\n",
-		*k, *m, *seu, *perm, *scrub, *hours)
-	fmt.Printf("%-22s %12s %14s %10s %8s %9s\n",
-		"arrangement", "BER(h)", "MTTDL(h)", "Td cycles", "gates", "overhead")
-
-	emit := func(arr core.Arrangement, red int) {
-		n := *k + red
-		cfg := core.Config{
-			Arrangement:         arr,
-			Code:                core.CodeSpec{N: n, K: *k, M: *m},
-			SEUPerBitDay:        *seu,
-			ErasurePerSymbolDay: *perm,
-			ScrubPeriodSeconds:  *scrub,
-		}
-		curve, err := core.Evaluate(cfg, []float64{*hours})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tradeoff: %v: %v\n", cfg, err)
-			return
-		}
-		mttdl, err := core.MTTDL(cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tradeoff: %v: %v\n", cfg, err)
-			return
-		}
-		var cost complexity.ArrangementCost
-		if arr == core.Simplex {
-			cost, err = complexity.SimplexCost(n, *k, *m)
-		} else {
-			cost, err = complexity.DuplexCost(n, *k, *m)
-		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tradeoff: %v\n", err)
-			return
-		}
-		overhead := float64(n) / float64(*k)
-		if arr == core.Duplex {
-			overhead *= 2
-		}
-		mttdlStr := fmt.Sprintf("%14.3e", mttdl)
-		if math.IsInf(mttdl, 1) {
-			mttdlStr = fmt.Sprintf("%14s", "inf")
-		}
-		fmt.Printf("%-22s %12.3e %s %10d %8.0f %8.2fx\n",
-			fmt.Sprintf("%s RS(%d,%d)", arr, n, *k),
-			curve.BER[0], mttdlStr, cost.DecodeCycles, cost.TotalGates, overhead)
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "tradeoff: unexpected arguments %q\n", flag.Args())
+		os.Exit(2)
 	}
 
-	for red := 2; red <= *maxRed; red += 2 {
-		emit(core.Simplex, red)
+	scn, err := spec.NewTradeoff(spec.TradeoffParams{
+		K: *k, M: *m,
+		SEUPerBit:  *seu,
+		PermPerSym: *perm,
+		ScrubSec:   *scrub,
+		Hours:      *hours,
+		MaxRed:     *maxRed, DuplexMaxRed: *duplexD,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tradeoff: %v\n", err)
+		os.Exit(2)
 	}
-	fmt.Println()
-	for red := 2; red <= *duplexD; red += 2 {
-		emit(core.Duplex, red)
+	// One candidate per shard, so the (few, independent) chain solves
+	// actually spread across the worker pool.
+	cres, err := campaign.Run(scn, campaign.Config{Workers: *workers, ShardSize: 1})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tradeoff: %v\n", err)
+		os.Exit(1)
+	}
+	if err := spec.RenderTradeoff(os.Stdout, scn, cres); err != nil {
+		fmt.Fprintf(os.Stderr, "tradeoff: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -37,4 +37,43 @@
 // per-kernel trajectory is tracked by the microbenchmarks in
 // internal/rs (go test ./internal/rs -bench . -benchmem) and gated by
 // its TestSteadyStateZeroAllocs.
+//
+// # The campaign engine
+//
+// Every experiment — Monte Carlo fault injection (memsim), multi-bit
+// upset comparisons (mbusim), analytic BER curves and design-space
+// sweeps, whole registry regenerations — runs on one orchestration
+// subsystem, internal/campaign. A scenario implements two small
+// interfaces: Scenario (name, trial count, worker factory) and Worker
+// (run trial i into an accumulator of named counters, (x, y) samples
+// and notes). The engine shards the trial range into fixed contiguous
+// shards, fans them over a goroutine pool of per-worker codec
+// workspaces, and merges shard accumulators in index order, so the
+// aggregate statistics are bit-identical for any worker count. On top
+// of that base it provides Wilson-interval early stopping (decided on
+// contiguous shard prefixes, hence equally deterministic), atomic JSON
+// checkpointing with bit-identical resume, and structured results that
+// internal/expdata renders as tables, TSV, CSV or JSON.
+//
+// The cmd/ binaries are thin scenario frontends: memsim, mbusim,
+// bercurve, sweep and tradeoff each build one scenario and format its
+// campaign result, while cmd/campaign runs a declarative multi-
+// scenario JSON spec (internal/campaign/spec; runnable files under
+// examples/campaign/) whose entries can carry early-stop rules,
+// checkpoint paths and tolerance bands on counter fractions.
+//
+// # Continuous integration gates
+//
+// The ci workflow builds and tests on the current and previous Go
+// release, race-gates the worker-pool engine (go test -race ./...),
+// enforces gofmt/go vet, smoke-runs every binary's error paths
+// (non-zero exits) and a multi-scenario campaign spec, and gates
+// benchmark regressions: the codec microbenchmarks and root solver
+// benchmarks run at -benchtime 100x -count=5 and cmd/benchdiff
+// compares them against the committed BENCH_baseline.json, failing on
+// any allocation increase or a >25% latency regression (min-of-5
+// ns/op, so one-sided scheduler noise cannot fake a pass or a fail).
+// The nightly workflow reruns the accelerated SSMM mission (10k
+// deterministic trials) and fails if the measured uncorrectable-word
+// probability leaves the tolerance band in examples/campaign/nightly.json.
 package repro

@@ -1,0 +1,536 @@
+// Package campaign is the experiment-orchestration engine shared by
+// every simulator and analytic sweep in this repository. A Scenario
+// describes a fixed number of deterministic-seeded trials plus a
+// factory for per-goroutine Workers (which own all reusable scratch:
+// codec workspaces, RNGs, modules). The engine shards the trial range
+// into fixed-size contiguous shards, fans the shards out over a
+// worker pool, and merges per-shard accumulators in shard order, so
+// the aggregate statistics are bit-identical for any worker count.
+//
+// On top of that base the engine provides:
+//
+//   - early stopping: once the Wilson confidence interval of a chosen
+//     counter is narrow enough over a contiguous prefix of shards, the
+//     campaign stops and discards any later shards already computed —
+//     the stopping point is a pure function of the shard contents, so
+//     early-stopped results are also worker-count independent;
+//   - checkpointing: completed shards are periodically written to a
+//     JSON file (atomically, via rename), and a rerun pointed at the
+//     same file resumes with only the missing shards — a resumed
+//     campaign is bit-identical to an uninterrupted one;
+//   - structured results: trials report named int64 counters, (x, y)
+//     samples grouped into labeled series, and free-form notes, which
+//     downstream formatting (internal/expdata, the cmd/ binaries)
+//     turns into tables, TSV, JSON or plots instead of printf.
+//
+// Determinism contract: a Worker must derive all randomness for trial
+// i from the trial index (see TrialSeed), never from shared state, and
+// must record per-trial output through the Acc it is handed. Counters
+// merge by addition; samples and notes carry their trial index and are
+// reassembled in trial order.
+package campaign
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Scenario describes one experiment: how many trials it has and how
+// to build per-goroutine workers.
+type Scenario interface {
+	// Name identifies the scenario in results and checkpoints.
+	Name() string
+	// Trials is the total number of independent trials requested.
+	Trials() int
+	// NewWorker builds the per-goroutine state (codec workspaces,
+	// RNG, scratch buffers). It is called once per worker goroutine.
+	NewWorker() (Worker, error)
+}
+
+// Worker executes trials. Each trial must be a pure function of its
+// trial index (plus the scenario configuration), so that sharding is
+// invisible in the aggregate.
+type Worker interface {
+	Trial(trial int, acc *Acc) error
+}
+
+// TrialSeed derives the deterministic per-trial RNG seed every
+// scenario in this repository uses: reseeding a worker-owned
+// generator with TrialSeed(base, i) makes trial i reproducible
+// regardless of which worker runs it, without per-trial allocation.
+func TrialSeed(base int64, trial int) int64 {
+	return base + int64(trial)*0x9E3779B9
+}
+
+// Sample is one recorded (x, y) point of a labeled series.
+type Sample struct {
+	Trial  int
+	Series string
+	X, Y   float64
+}
+
+// Note is one free-form observation attached to a trial.
+type Note struct {
+	Trial int    `json:"trial"`
+	Text  string `json:"text"`
+}
+
+// Acc accumulates the output of one shard's trials. It is not safe
+// for concurrent use; the engine hands each shard its own.
+type Acc struct {
+	counters map[string]int64
+	samples  []Sample
+	notes    []Note
+}
+
+// NewAcc returns an empty accumulator.
+func NewAcc() *Acc {
+	return &Acc{counters: make(map[string]int64)}
+}
+
+// Add increments a named counter.
+func (a *Acc) Add(counter string, delta int64) {
+	a.counters[counter] += delta
+}
+
+// Sample records an (x, y) point for a labeled series.
+func (a *Acc) Sample(trial int, series string, x, y float64) {
+	a.samples = append(a.samples, Sample{Trial: trial, Series: series, X: x, Y: y})
+}
+
+// Note records a free-form observation for a trial.
+func (a *Acc) Note(trial int, format string, args ...any) {
+	a.notes = append(a.notes, Note{Trial: trial, Text: fmt.Sprintf(format, args...)})
+}
+
+// merge folds b into a. Counter addition is commutative; samples and
+// notes are appended, so callers must merge shards in index order to
+// keep them sorted by trial.
+func (a *Acc) merge(b *Acc) {
+	for k, v := range b.counters {
+		a.counters[k] += v
+	}
+	a.samples = append(a.samples, b.samples...)
+	a.notes = append(a.notes, b.notes...)
+}
+
+// EarlyStop stops a campaign once a binomial counter is resolved
+// precisely enough. The decision is evaluated only over contiguous
+// prefixes of completed shards, which makes the stopping trial count
+// a deterministic function of the scenario and shard size.
+type EarlyStop struct {
+	// Counter is the name of the counter treated as binomial
+	// successes out of the trials run so far.
+	Counter string
+	// RelHalfWidth stops the campaign when the Wilson half-width is
+	// at most RelHalfWidth times the point estimate (and at least one
+	// success has been observed).
+	RelHalfWidth float64
+	// Z is the interval's z-score; 0 means 1.96 (95%).
+	Z float64
+	// MinTrials defers stopping until at least this many trials.
+	MinTrials int
+}
+
+func (s *EarlyStop) validate() error {
+	if s.Counter == "" {
+		return fmt.Errorf("campaign: early stop needs a counter name")
+	}
+	if s.RelHalfWidth <= 0 || math.IsNaN(s.RelHalfWidth) {
+		return fmt.Errorf("campaign: invalid early-stop relative half-width %v", s.RelHalfWidth)
+	}
+	if s.Z < 0 || math.IsNaN(s.Z) {
+		return fmt.Errorf("campaign: invalid early-stop z %v", s.Z)
+	}
+	return nil
+}
+
+// z returns the configured z-score, defaulting to 1.96.
+func (s *EarlyStop) z() float64 {
+	if s.Z == 0 {
+		return 1.96
+	}
+	return s.Z
+}
+
+// satisfied reports whether the interval is narrow enough at the
+// given prefix totals.
+func (s *EarlyStop) satisfied(successes int64, trials int) bool {
+	if trials < s.MinTrials || successes <= 0 {
+		return false
+	}
+	p := float64(successes) / float64(trials)
+	lo, hi := Wilson(successes, int64(trials), s.z())
+	return (hi-lo)/2 <= s.RelHalfWidth*p
+}
+
+// DefaultShardSize is the trial count per shard when Config.ShardSize
+// is zero: small enough that checkpoints and early-stop checks are
+// frequent, large enough that shard dispatch overhead is invisible.
+const DefaultShardSize = 256
+
+// Config tunes the engine; the zero value runs every trial on
+// GOMAXPROCS workers with no checkpointing or early stopping.
+type Config struct {
+	// Workers is the goroutine count; 0 means GOMAXPROCS.
+	Workers int
+	// ShardSize is the number of consecutive trials per shard
+	// (checkpoint and early-stop granularity); 0 means
+	// DefaultShardSize. Results are independent of Workers for any
+	// fixed ShardSize; the early-stop point may move with ShardSize.
+	ShardSize int
+	// Checkpoint is the path of the resumable-progress file; ""
+	// disables checkpointing. If the file exists it must describe the
+	// same scenario (name, trials, shard size) and its completed
+	// shards are not recomputed.
+	Checkpoint string
+	// CheckpointEvery writes the file after every N newly completed
+	// shards; 0 throttles adaptively (at most about one write per
+	// second, plus a final flush), which keeps re-marshaling the
+	// growing checkpoint from dominating cheap-trial campaigns.
+	CheckpointEvery int
+	// Stop optionally ends the campaign once a counter's confidence
+	// interval is narrow enough.
+	Stop *EarlyStop
+	// Progress, when non-nil, is called from the collector as trials
+	// complete (monotonically, including resumed trials).
+	Progress func(doneTrials, totalTrials int)
+}
+
+// Result is the merged output of a campaign.
+type Result struct {
+	Scenario string `json:"scenario"`
+	// Requested is the scenario's full trial count; Trials is the
+	// number actually contributing to the statistics (smaller only
+	// when early stopping triggered).
+	Requested    int  `json:"requested_trials"`
+	Trials       int  `json:"trials"`
+	EarlyStopped bool `json:"early_stopped,omitempty"`
+	// ResumedTrials counts trials restored from a checkpoint rather
+	// than recomputed in this run.
+	ResumedTrials int              `json:"resumed_trials,omitempty"`
+	Counters      map[string]int64 `json:"counters"`
+	Samples       []Sample         `json:"samples,omitempty"`
+	Notes         []Note           `json:"notes,omitempty"`
+}
+
+// Counter returns a counter value (0 when absent).
+func (r *Result) Counter(name string) int64 { return r.Counters[name] }
+
+// Fraction returns Counter(name) / Trials.
+func (r *Result) Fraction(name string) float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	return float64(r.Counters[name]) / float64(r.Trials)
+}
+
+// CounterNames returns the sorted counter keys.
+func (r *Result) CounterNames() []string {
+	names := make([]string, 0, len(r.Counters))
+	for k := range r.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SeriesNames returns the labels of all sample series in order of
+// first appearance.
+func (r *Result) SeriesNames() []string {
+	var names []string
+	seen := make(map[string]bool)
+	for _, s := range r.Samples {
+		if !seen[s.Series] {
+			seen[s.Series] = true
+			names = append(names, s.Series)
+		}
+	}
+	return names
+}
+
+// SeriesPoints returns the (x, y) points of one series in trial order.
+func (r *Result) SeriesPoints(series string) (xs, ys []float64) {
+	for _, s := range r.Samples {
+		if s.Series == series {
+			xs = append(xs, s.X)
+			ys = append(ys, s.Y)
+		}
+	}
+	return xs, ys
+}
+
+// Wilson returns the Wilson score interval for a binomial proportion
+// at the given z (e.g. 1.96 for 95%).
+func Wilson(successes, trials int64, z float64) (lo, hi float64) {
+	if trials == 0 {
+		return 0, 1
+	}
+	n := float64(trials)
+	p := float64(successes) / n
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (p + z2/(2*n)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// shardDone is one completed shard travelling from a worker to the
+// collector.
+type shardDone struct {
+	index int
+	acc   *Acc
+	err   error
+}
+
+// Run executes the scenario under the config. The result is
+// deterministic for a fixed scenario and shard size, independent of
+// worker count, checkpoint interruptions, and scheduling.
+func Run(scn Scenario, cfg Config) (*Result, error) {
+	if scn == nil {
+		return nil, fmt.Errorf("campaign: nil scenario")
+	}
+	total := scn.Trials()
+	if total <= 0 {
+		return nil, fmt.Errorf("campaign: scenario %q has no trials", scn.Name())
+	}
+	if cfg.Stop != nil {
+		if err := cfg.Stop.validate(); err != nil {
+			return nil, err
+		}
+	}
+	shardSize := cfg.ShardSize
+	if shardSize <= 0 {
+		shardSize = DefaultShardSize
+	}
+	numShards := (total + shardSize - 1) / shardSize
+
+	accs := make([]*Acc, numShards)
+	resumedTrials := 0
+	if cfg.Checkpoint != "" {
+		n, err := loadCheckpoint(cfg.Checkpoint, scn.Name(), total, shardSize, accs)
+		if err != nil {
+			return nil, err
+		}
+		resumedTrials = n
+	}
+
+	var pending []int
+	for i, a := range accs {
+		if a == nil {
+			pending = append(pending, i)
+		}
+	}
+
+	shardSpan := func(idx int) (lo, hi int) {
+		lo = idx * shardSize
+		hi = lo + shardSize
+		if hi > total {
+			hi = total
+		}
+		return lo, hi
+	}
+
+	// Early-stop and contiguous-prefix state. A checkpoint-restored
+	// prefix is evaluated shard by shard exactly like live progress,
+	// so a resumed run reproduces the original stopping point even
+	// when the checkpoint holds in-flight shards beyond it.
+	var (
+		firstErr     error
+		stopFlag     int64
+		prefix       int
+		prefixCounts = make(map[string]int64)
+		stopPrefix   = -1 // shard count at which early stop triggered
+	)
+	checkStop := func() {
+		if cfg.Stop == nil || stopPrefix >= 0 || firstErr != nil {
+			return
+		}
+		_, trialsSoFar := shardSpan(prefix - 1)
+		successes := prefixCounts[cfg.Stop.Counter]
+		if successes > int64(trialsSoFar) {
+			// A counter that increments more than once per trial is
+			// not a binomial proportion; the Wilson width would be
+			// NaN and the stop rule would silently never fire.
+			firstErr = fmt.Errorf("campaign: %s: early-stop counter %q is not per-trial (%d over %d trials)",
+				scn.Name(), cfg.Stop.Counter, successes, trialsSoFar)
+			atomic.StoreInt64(&stopFlag, 1)
+			return
+		}
+		if cfg.Stop.satisfied(successes, trialsSoFar) {
+			stopPrefix = prefix
+			atomic.StoreInt64(&stopFlag, 1)
+		}
+	}
+	advancePrefix := func() {
+		for prefix < numShards && accs[prefix] != nil {
+			for k, v := range accs[prefix].counters {
+				prefixCounts[k] += v
+			}
+			prefix++
+			checkStop()
+		}
+	}
+	advancePrefix()
+	if stopPrefix >= 0 || firstErr != nil {
+		// The restored prefix already decided the campaign; don't
+		// start workers for shards that would be discarded anyway.
+		pending = nil
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+
+	var nextPending int64 = -1
+	// The bounded buffer applies backpressure: workers can run at most
+	// ~2x workers shards ahead of the collector, so an early-stop
+	// decision (made by the collector) takes effect before cheap
+	// trials race through the whole budget, and checkpoint writes
+	// never lag unboundedly behind computed work.
+	resultsCap := 2 * workers
+	if resultsCap > len(pending) {
+		resultsCap = len(pending)
+	}
+	results := make(chan shardDone, resultsCap)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker, err := scn.NewWorker()
+			if err != nil {
+				results <- shardDone{index: -1, err: fmt.Errorf("campaign: %s: new worker: %w", scn.Name(), err)}
+				return
+			}
+			for {
+				i := atomic.AddInt64(&nextPending, 1)
+				if i >= int64(len(pending)) || atomic.LoadInt64(&stopFlag) != 0 {
+					return
+				}
+				shard := pending[i]
+				lo, hi := shardSpan(shard)
+				acc := NewAcc()
+				for t := lo; t < hi; t++ {
+					if err := worker.Trial(t, acc); err != nil {
+						atomic.StoreInt64(&stopFlag, 1)
+						results <- shardDone{index: shard, err: fmt.Errorf("campaign: %s: trial %d: %w", scn.Name(), t, err)}
+						return
+					}
+				}
+				results <- shardDone{index: shard, acc: acc}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Collector: merge shards, advance the contiguous prefix, decide
+	// early stopping, and checkpoint progress.
+	var (
+		sinceWrite = 0
+		doneTrials = resumedTrials
+		lastWrite  = time.Now()
+	)
+	// CheckpointEvery > 0 writes after exactly that many new shards;
+	// the default throttles to about one write per second so that
+	// cheap-trial campaigns don't spend their time re-marshaling a
+	// growing checkpoint after every shard (resume just recomputes
+	// whatever the last write missed).
+	shouldWrite := func() bool {
+		if cfg.Checkpoint == "" || sinceWrite == 0 {
+			return false
+		}
+		if cfg.CheckpointEvery > 0 {
+			return sinceWrite >= cfg.CheckpointEvery
+		}
+		return time.Since(lastWrite) >= time.Second
+	}
+	reportProgress := func() {
+		if cfg.Progress != nil {
+			cfg.Progress(doneTrials, total)
+		}
+	}
+	reportProgress()
+
+	for done := range results {
+		if done.err != nil {
+			if firstErr == nil {
+				firstErr = done.err
+			}
+			continue
+		}
+		accs[done.index] = done.acc
+		lo, hi := shardSpan(done.index)
+		doneTrials += hi - lo
+		advancePrefix()
+		sinceWrite++
+		if shouldWrite() {
+			if err := writeCheckpoint(cfg.Checkpoint, scn.Name(), total, shardSize, accs); err != nil && firstErr == nil {
+				firstErr = err
+				atomic.StoreInt64(&stopFlag, 1)
+			}
+			sinceWrite = 0
+			lastWrite = time.Now()
+		}
+		reportProgress()
+	}
+
+	// Flush progress (including partial progress before an error) so
+	// an aborted campaign resumes where it stopped.
+	if cfg.Checkpoint != "" && sinceWrite > 0 {
+		if err := writeCheckpoint(cfg.Checkpoint, scn.Name(), total, shardSize, accs); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	useShards := numShards
+	earlyStopped := false
+	if stopPrefix >= 0 {
+		useShards = stopPrefix
+		earlyStopped = stopPrefix < numShards
+	} else if prefix < numShards {
+		// No early stop requested/triggered, yet a gap remains: a
+		// worker exited early without reporting an error (impossible
+		// unless a Worker panicked and was recovered elsewhere).
+		return nil, fmt.Errorf("campaign: %s: incomplete campaign: %d of %d shards done", scn.Name(), prefix, numShards)
+	}
+
+	merged := NewAcc()
+	for i := 0; i < useShards; i++ {
+		merged.merge(accs[i])
+	}
+	_, trials := shardSpan(useShards - 1)
+	res := &Result{
+		Scenario:      scn.Name(),
+		Requested:     total,
+		Trials:        trials,
+		EarlyStopped:  earlyStopped,
+		ResumedTrials: resumedTrials,
+		Counters:      merged.counters,
+		Samples:       merged.samples,
+		Notes:         merged.notes,
+	}
+	return res, nil
+}

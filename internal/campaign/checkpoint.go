@@ -1,0 +1,153 @@
+package campaign
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// checkpointVersion guards the on-disk schema.
+const checkpointVersion = 1
+
+// checkpointFile is the resumable-progress schema: the scenario
+// identity plus every completed shard's accumulator.
+type checkpointFile struct {
+	Version   int               `json:"version"`
+	Scenario  string            `json:"scenario"`
+	Trials    int               `json:"trials"`
+	ShardSize int               `json:"shard_size"`
+	Shards    []checkpointShard `json:"shards"`
+}
+
+type checkpointShard struct {
+	Index    int              `json:"index"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Samples  []Sample         `json:"samples,omitempty"`
+	Notes    []Note           `json:"notes,omitempty"`
+}
+
+// sampleWire is the JSON form of Sample. Coordinates travel as
+// strconv-formatted strings because campaigns legitimately record
+// non-finite values (an MTTDL of +Inf, say) that encoding/json
+// refuses to emit as numbers; FormatFloat('g', -1) round-trips every
+// float64 bit pattern exactly, which the resume-equals-uninterrupted
+// guarantee depends on.
+type sampleWire struct {
+	Trial  int    `json:"trial"`
+	Series string `json:"series"`
+	X      string `json:"x"`
+	Y      string `json:"y"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s Sample) MarshalJSON() ([]byte, error) {
+	return json.Marshal(sampleWire{
+		Trial:  s.Trial,
+		Series: s.Series,
+		X:      strconv.FormatFloat(s.X, 'g', -1, 64),
+		Y:      strconv.FormatFloat(s.Y, 'g', -1, 64),
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *Sample) UnmarshalJSON(data []byte) error {
+	var w sampleWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	x, err := strconv.ParseFloat(w.X, 64)
+	if err != nil {
+		return fmt.Errorf("campaign: sample x %q: %w", w.X, err)
+	}
+	y, err := strconv.ParseFloat(w.Y, 64)
+	if err != nil {
+		return fmt.Errorf("campaign: sample y %q: %w", w.Y, err)
+	}
+	s.Trial, s.Series, s.X, s.Y = w.Trial, w.Series, x, y
+	return nil
+}
+
+// writeCheckpoint atomically persists every completed shard.
+func writeCheckpoint(path, scenario string, trials, shardSize int, accs []*Acc) error {
+	cp := checkpointFile{
+		Version:   checkpointVersion,
+		Scenario:  scenario,
+		Trials:    trials,
+		ShardSize: shardSize,
+	}
+	for i, acc := range accs {
+		if acc == nil {
+			continue
+		}
+		cp.Shards = append(cp.Shards, checkpointShard{
+			Index:    i,
+			Counters: acc.counters,
+			Samples:  acc.samples,
+			Notes:    acc.notes,
+		})
+	}
+	data, err := json.Marshal(&cp)
+	if err != nil {
+		return fmt.Errorf("campaign: encode checkpoint: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("campaign: checkpoint dir: %w", err)
+	}
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("campaign: write checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("campaign: commit checkpoint: %w", err)
+	}
+	return nil
+}
+
+// loadCheckpoint restores completed shards into accs and returns the
+// number of restored trials. A missing file is not an error (the
+// campaign simply starts from scratch); a file describing a different
+// scenario, trial count or shard size is.
+func loadCheckpoint(path, scenario string, trials, shardSize int, accs []*Acc) (int, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("campaign: read checkpoint: %w", err)
+	}
+	var cp checkpointFile
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return 0, fmt.Errorf("campaign: parse checkpoint %s: %w", path, err)
+	}
+	if cp.Version != checkpointVersion {
+		return 0, fmt.Errorf("campaign: checkpoint %s has version %d, want %d", path, cp.Version, checkpointVersion)
+	}
+	if cp.Scenario != scenario || cp.Trials != trials || cp.ShardSize != shardSize {
+		return 0, fmt.Errorf("campaign: checkpoint %s is for scenario %q (%d trials, shard %d), want %q (%d trials, shard %d)",
+			path, cp.Scenario, cp.Trials, cp.ShardSize, scenario, trials, shardSize)
+	}
+	restored := 0
+	for _, sh := range cp.Shards {
+		if sh.Index < 0 || sh.Index >= len(accs) {
+			return 0, fmt.Errorf("campaign: checkpoint %s has out-of-range shard %d", path, sh.Index)
+		}
+		acc := NewAcc()
+		for k, v := range sh.Counters {
+			acc.counters[k] = v
+		}
+		acc.samples = sh.Samples
+		acc.notes = sh.Notes
+		accs[sh.Index] = acc
+		lo := sh.Index * shardSize
+		hi := lo + shardSize
+		if hi > trials {
+			hi = trials
+		}
+		restored += hi - lo
+	}
+	return restored, nil
+}

@@ -1,0 +1,516 @@
+// Package spec runs declarative multi-scenario campaign files: a JSON
+// document names a list of scenarios — Monte Carlo fault injection
+// (memsim), multi-bit-upset comparisons (mbusim), analytic BER curves
+// and design-space sweeps, or whole registry experiments — and the
+// package builds each one into a campaign.Scenario for the shared
+// engine. Adding a new workload to a study means adding an entry to a
+// spec file, not writing a new binary.
+//
+// Schema (see examples/campaign/ for runnable files):
+//
+//	{
+//	  "seed": 1,
+//	  "workers": 0,
+//	  "scenarios": [
+//	    {
+//	      "name": "ber-transient",
+//	      "kind": "bercurve",
+//	      "params": {"arrangement": "duplex", "seu_per_bit_day": 1.7e-5,
+//	                 "scrub_seconds": 3600, "hours": 48}
+//	    },
+//	    {
+//	      "name": "ssmm-mission",
+//	      "kind": "memsim",
+//	      "params": {"duplex": true, "lambda_bit_per_hour": 6e-4,
+//	                 "lambda_symbol_per_hour": 2e-4, "scrub_period_hours": 4,
+//	                 "exponential_scrub": true, "horizon_hours": 48,
+//	                 "trials": 10000},
+//	      "expect": [{"counter": "capability_exceeded",
+//	                  "min_fraction": 0.05, "max_fraction": 0.09}]
+//	    }
+//	  ]
+//	}
+//
+// Kinds: "memsim", "mbusim", "bercurve", "tradeoff", "experiments".
+// Each entry may carry a checkpoint path, an early-stop rule and
+// expectations — tolerance bands on counter fractions that turn a
+// campaign into a pass/fail gate (the nightly CI workflow uses this
+// to detect probability drift).
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/campaign"
+	"repro/internal/expdata"
+	"repro/internal/gf"
+	"repro/internal/mbusim"
+	"repro/internal/memsim"
+	"repro/internal/rs"
+	"repro/internal/textplot"
+)
+
+// File is a parsed campaign spec.
+type File struct {
+	// Seed is the default base seed for entries that do not set one.
+	Seed int64 `json:"seed,omitempty"`
+	// Workers and ShardSize are engine defaults for every entry
+	// (0 = engine defaults).
+	Workers   int     `json:"workers,omitempty"`
+	ShardSize int     `json:"shard_size,omitempty"`
+	Scenarios []Entry `json:"scenarios"`
+}
+
+// Entry is one scenario of a spec file.
+type Entry struct {
+	Name       string          `json:"name"`
+	Kind       string          `json:"kind"`
+	Params     json.RawMessage `json:"params,omitempty"`
+	Checkpoint string          `json:"checkpoint,omitempty"`
+	Stop       *Stop           `json:"stop,omitempty"`
+	Expect     []Expectation   `json:"expect,omitempty"`
+}
+
+// Stop mirrors campaign.EarlyStop in spec syntax.
+type Stop struct {
+	Counter      string  `json:"counter"`
+	RelHalfWidth float64 `json:"rel_half_width"`
+	Z            float64 `json:"z,omitempty"`
+	MinTrials    int     `json:"min_trials,omitempty"`
+}
+
+// Expectation is a tolerance band on a counter fraction; a result
+// outside the band fails the campaign run.
+type Expectation struct {
+	Counter     string   `json:"counter"`
+	MinFraction *float64 `json:"min_fraction,omitempty"`
+	MaxFraction *float64 `json:"max_fraction,omitempty"`
+}
+
+// Check evaluates the expectation against a result.
+func (e Expectation) Check(cres *campaign.Result) error {
+	frac := cres.Fraction(e.Counter)
+	if e.MinFraction != nil && frac < *e.MinFraction {
+		return fmt.Errorf("counter %q fraction %.6e below expected minimum %.6e (%d/%d trials)",
+			e.Counter, frac, *e.MinFraction, cres.Counter(e.Counter), cres.Trials)
+	}
+	if e.MaxFraction != nil && frac > *e.MaxFraction {
+		return fmt.Errorf("counter %q fraction %.6e above expected maximum %.6e (%d/%d trials)",
+			e.Counter, frac, *e.MaxFraction, cres.Counter(e.Counter), cres.Trials)
+	}
+	return nil
+}
+
+// Load reads and validates a spec file.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	return Parse(data)
+}
+
+// Parse decodes and validates spec bytes. Unknown fields are errors,
+// so typos fail loudly instead of silently running defaults.
+func Parse(data []byte) (*File, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var f File
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("spec: parse: %w", err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// Validate checks structural invariants (names, kinds, expectations).
+func (f *File) Validate() error {
+	if len(f.Scenarios) == 0 {
+		return fmt.Errorf("spec: no scenarios")
+	}
+	seen := make(map[string]bool)
+	for i, e := range f.Scenarios {
+		if e.Name == "" {
+			return fmt.Errorf("spec: scenario %d has no name", i)
+		}
+		if seen[e.Name] {
+			return fmt.Errorf("spec: duplicate scenario name %q", e.Name)
+		}
+		seen[e.Name] = true
+		switch e.Kind {
+		case "memsim", "mbusim", "bercurve", "tradeoff", "experiments":
+		default:
+			return fmt.Errorf("spec: scenario %q has unknown kind %q", e.Name, e.Kind)
+		}
+		if e.Stop != nil && e.Stop.Counter == "" {
+			return fmt.Errorf("spec: scenario %q early stop needs a counter", e.Name)
+		}
+		for _, ex := range e.Expect {
+			if ex.Counter == "" {
+				return fmt.Errorf("spec: scenario %q expectation needs a counter", e.Name)
+			}
+			if ex.MinFraction == nil && ex.MaxFraction == nil {
+				return fmt.Errorf("spec: scenario %q expectation on %q has no bound", e.Name, ex.Counter)
+			}
+		}
+	}
+	return nil
+}
+
+// Built is a spec entry compiled to a runnable scenario.
+type Built struct {
+	Entry    Entry
+	Scenario campaign.Scenario
+	// Render writes the scenario's human-readable summary.
+	Render func(w io.Writer, cres *campaign.Result) error
+	// shardSize is the kind's preferred shard size when the file does
+	// not set one: analytic kinds have few, heavyweight trials and
+	// shard one per trial so they actually parallelize.
+	shardSize int
+}
+
+// EngineConfig assembles the engine configuration for this entry
+// under the file-level defaults.
+func (b *Built) EngineConfig(f *File) campaign.Config {
+	cfg := campaign.Config{
+		Workers:    f.Workers,
+		ShardSize:  f.ShardSize,
+		Checkpoint: b.Entry.Checkpoint,
+	}
+	if cfg.ShardSize == 0 {
+		cfg.ShardSize = b.shardSize
+	}
+	if s := b.Entry.Stop; s != nil {
+		cfg.Stop = &campaign.EarlyStop{
+			Counter:      s.Counter,
+			RelHalfWidth: s.RelHalfWidth,
+			Z:            s.Z,
+			MinTrials:    s.MinTrials,
+		}
+	}
+	return cfg
+}
+
+// CheckExpectations evaluates every tolerance band of the entry.
+func (b *Built) CheckExpectations(cres *campaign.Result) []error {
+	var errs []error
+	for _, ex := range b.Entry.Expect {
+		if err := ex.Check(cres); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", b.Entry.Name, err))
+		}
+	}
+	return errs
+}
+
+// decodeParams strictly unmarshals entry params into dst.
+func decodeParams(e Entry, dst any) error {
+	raw := e.Params
+	if len(raw) == 0 {
+		raw = []byte("{}")
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("spec: scenario %q params: %w", e.Name, err)
+	}
+	return nil
+}
+
+// MemsimParams is the "memsim" kind: Monte Carlo fault injection
+// through the real codec, scrubber and arbiter. Rates are per hour,
+// matching cmd/memsim.
+type MemsimParams struct {
+	N            int     `json:"n"`
+	K            int     `json:"k"`
+	M            int     `json:"m"`
+	Duplex       bool    `json:"duplex"`
+	LambdaBit    float64 `json:"lambda_bit_per_hour"`
+	LambdaSymbol float64 `json:"lambda_symbol_per_hour"`
+	ScrubHours   float64 `json:"scrub_period_hours"`
+	ExpScrub     bool    `json:"exponential_scrub"`
+	Latency      float64 `json:"detection_latency_hours"`
+	CrossRepair  bool    `json:"cross_repair"`
+	Horizon      float64 `json:"horizon_hours"`
+	Trials       int     `json:"trials"`
+	Seed         *int64  `json:"seed,omitempty"`
+}
+
+// MemsimConfig converts the params (with defaults) into a simulator
+// configuration.
+func (p MemsimParams) MemsimConfig(defaultSeed int64) (memsim.Config, error) {
+	applyCodeDefaults(&p.N, &p.K, &p.M)
+	field, err := gf.NewField(p.M)
+	if err != nil {
+		return memsim.Config{}, err
+	}
+	code, err := rs.New(field, p.N, p.K)
+	if err != nil {
+		return memsim.Config{}, err
+	}
+	seed := defaultSeed
+	if p.Seed != nil {
+		seed = *p.Seed
+	}
+	return memsim.Config{
+		Code:             code,
+		Duplex:           p.Duplex,
+		LambdaBit:        p.LambdaBit,
+		LambdaSymbol:     p.LambdaSymbol,
+		ScrubPeriod:      p.ScrubHours,
+		ExponentialScrub: p.ExpScrub,
+		DetectionLatency: p.Latency,
+		CrossRepair:      p.CrossRepair,
+		Horizon:          p.Horizon,
+		Trials:           p.Trials,
+		Seed:             seed,
+	}, nil
+}
+
+// MBUParams is the "mbusim" kind: burst injection through the default
+// protection-scheme comparison set.
+type MBUParams struct {
+	EventsPerKilobit float64 `json:"events_per_kilobit"`
+	BurstBits        int     `json:"burst_bits"`
+	Trials           int     `json:"trials"`
+	Seed             *int64  `json:"seed,omitempty"`
+}
+
+// ExperimentsParams is the "experiments" kind: run registered paper
+// experiments by ID (empty means all).
+type ExperimentsParams struct {
+	IDs []string `json:"ids,omitempty"`
+}
+
+// Build compiles one entry under the file defaults.
+func Build(e Entry, f *File) (*Built, error) {
+	switch e.Kind {
+	case "memsim":
+		var p MemsimParams
+		if err := decodeParams(e, &p); err != nil {
+			return nil, err
+		}
+		cfg, err := p.MemsimConfig(f.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("spec: scenario %q: %w", e.Name, err)
+		}
+		scn, err := cfg.Scenario()
+		if err != nil {
+			return nil, fmt.Errorf("spec: scenario %q: %w", e.Name, err)
+		}
+		return &Built{Entry: e, Scenario: scn, Render: func(w io.Writer, cres *campaign.Result) error {
+			return renderMemsim(w, cfg, cres)
+		}}, nil
+
+	case "mbusim":
+		var p MBUParams
+		if err := decodeParams(e, &p); err != nil {
+			return nil, err
+		}
+		seed := f.Seed
+		if p.Seed != nil {
+			seed = *p.Seed
+		}
+		systems, err := mbusim.DefaultSystems()
+		if err != nil {
+			return nil, fmt.Errorf("spec: scenario %q: %w", e.Name, err)
+		}
+		cfg := mbusim.Config{
+			EventsPerKilobit: p.EventsPerKilobit,
+			BurstBits:        p.BurstBits,
+			Trials:           p.Trials,
+			Seed:             seed,
+		}
+		scn, err := mbusim.Scenario(cfg, systems)
+		if err != nil {
+			return nil, fmt.Errorf("spec: scenario %q: %w", e.Name, err)
+		}
+		return &Built{Entry: e, Scenario: scn, Render: func(w io.Writer, cres *campaign.Result) error {
+			return renderMBU(w, systems, cres)
+		}}, nil
+
+	case "bercurve":
+		var p BERCurveParams
+		if err := decodeParams(e, &p); err != nil {
+			return nil, err
+		}
+		scn, err := NewBERCurve(p)
+		if err != nil {
+			return nil, fmt.Errorf("spec: scenario %q: %w", e.Name, err)
+		}
+		return &Built{Entry: e, Scenario: scn, shardSize: 1, Render: func(w io.Writer, cres *campaign.Result) error {
+			return renderBERCurve(w, scn, cres)
+		}}, nil
+
+	case "tradeoff":
+		var p TradeoffParams
+		if err := decodeParams(e, &p); err != nil {
+			return nil, err
+		}
+		scn, err := NewTradeoff(p)
+		if err != nil {
+			return nil, fmt.Errorf("spec: scenario %q: %w", e.Name, err)
+		}
+		return &Built{Entry: e, Scenario: scn, shardSize: 1, Render: func(w io.Writer, cres *campaign.Result) error {
+			return RenderTradeoff(w, scn, cres)
+		}}, nil
+
+	case "experiments":
+		var p ExperimentsParams
+		if err := decodeParams(e, &p); err != nil {
+			return nil, err
+		}
+		exps := expdata.All()
+		if len(p.IDs) > 0 {
+			exps = exps[:0:0]
+			for _, id := range p.IDs {
+				exp, ok := expdata.ByID(id)
+				if !ok {
+					return nil, fmt.Errorf("spec: scenario %q: unknown experiment %q", e.Name, id)
+				}
+				exps = append(exps, exp)
+			}
+		}
+		// The scenario name must encode the experiment ID list, not
+		// just the entry name, so a checkpoint written for one ID set
+		// is rejected when the spec is edited to run a different one.
+		ids := make([]string, len(exps))
+		for i, exp := range exps {
+			ids[i] = exp.ID
+		}
+		scn, err := expdata.Scenario(e.Name+":experiments:"+strings.Join(ids, ","), exps)
+		if err != nil {
+			return nil, fmt.Errorf("spec: scenario %q: %w", e.Name, err)
+		}
+		return &Built{Entry: e, Scenario: scn, shardSize: 1, Render: func(w io.Writer, cres *campaign.Result) error {
+			return renderExperiments(w, exps, cres)
+		}}, nil
+	}
+	return nil, fmt.Errorf("spec: scenario %q has unknown kind %q", e.Name, e.Kind)
+}
+
+// BuildAll compiles every entry.
+func (f *File) BuildAll() ([]*Built, error) {
+	var out []*Built
+	for _, e := range f.Scenarios {
+		b, err := Build(e, f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// renderMemsim summarizes a fault-injection campaign.
+func renderMemsim(w io.Writer, cfg memsim.Config, cres *campaign.Result) error {
+	cfg.Trials = cres.Trials // early stop may have trimmed the campaign
+	res := memsim.ResultFromCampaign(cfg, cres)
+	arrangement := "simplex"
+	if cfg.Duplex {
+		arrangement = "duplex"
+	}
+	fmt.Fprintf(w, "code:            %v (%s)\n", cfg.Code, arrangement)
+	fmt.Fprintf(w, "trials:          %d of %d requested over %g h", cres.Trials, cres.Requested, cfg.Horizon)
+	if cres.EarlyStopped {
+		fmt.Fprint(w, "  [early stop]")
+	}
+	if cres.ResumedTrials > 0 {
+		fmt.Fprintf(w, "  [%d resumed]", cres.ResumedTrials)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "faults injected: %d SEUs, %d permanent\n", res.SEUs, res.PermanentFaults)
+	if res.ScrubOps > 0 {
+		fmt.Fprintf(w, "scrubs:          %d passes, %d entrenched mis-corrections\n", res.ScrubOps, res.ScrubMiscorrections)
+	}
+	fmt.Fprintf(w, "outcomes:        %d correct, %d wrong output, %d no output\n", res.Correct, res.WrongOutput, res.NoOutput)
+	lo, hi := memsim.WilsonInterval(res.WrongOutput+res.NoOutput, res.Trials, 1.96)
+	fmt.Fprintf(w, "fail fraction:   %.4e  (95%% CI [%.4e, %.4e])\n", res.FailFraction(), lo, hi)
+	clo, chi := memsim.WilsonInterval(res.CapabilityExceeded, res.Trials, 1.96)
+	fmt.Fprintf(w, "cap. exceeded:   %.4e  (95%% CI [%.4e, %.4e])  paper-BER %.4e\n",
+		res.CapabilityExceededFraction(), clo, chi, res.PaperBER())
+	return nil
+}
+
+// renderMBU summarizes a burst campaign as a table.
+func renderMBU(w io.Writer, systems []mbusim.System, cres *campaign.Result) error {
+	out := mbusim.ResultsFromCampaign(systems, cres)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "system\tstored bits\ttrials\tmean events\tlost\tloss fraction")
+	for _, r := range out {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.2f\t%d\t%.4f\n",
+			r.Name, r.StoredBits, r.Trials, r.MeanEvents, r.Lost, r.LossFraction)
+	}
+	return tw.Flush()
+}
+
+// renderBERCurve prints the curve as TSV.
+func renderBERCurve(w io.Writer, scn *BERCurve, cres *campaign.Result) error {
+	xs, ys := cres.SeriesPoints(SeriesBER)
+	return textplot.WriteTSV(w, scn.XLabel(), []textplot.Series{
+		{Label: scn.Config().String(), X: xs, Y: ys},
+	})
+}
+
+// RenderTradeoff prints the design-space table (shared by the
+// "tradeoff" spec kind and cmd/tradeoff, so the two outputs cannot
+// drift). Arrangement groups are separated by a blank line, matching
+// the historical cmd/tradeoff output.
+func RenderTradeoff(w io.Writer, scn *Tradeoff, cres *campaign.Result) error {
+	p := scn.Params()
+	fmt.Fprintf(w, "design space for k=%d data symbols (m=%d), lambda=%g/bit/day, lambdaE=%g/sym/day, Tsc=%gs, horizon %gh\n\n",
+		p.K, p.M, p.SEUPerBit, p.PermPerSym, p.ScrubSec, p.Hours)
+	fmt.Fprintf(w, "%-22s %12s %14s %10s %8s %9s\n",
+		"arrangement", "BER(h)", "MTTDL(h)", "Td cycles", "gates", "overhead")
+	lastArrangement := scn.Candidates()[0].Arrangement
+	for i, c := range scn.Candidates() {
+		if c.Arrangement != lastArrangement {
+			fmt.Fprintln(w)
+			lastArrangement = c.Arrangement
+		}
+		ber, mttdl, cycles, gates, overhead, ok := scn.MetricsFor(cres, i)
+		if !ok {
+			return fmt.Errorf("spec: tradeoff candidate %s missing from campaign result", c.Label())
+		}
+		fmt.Fprintf(w, "%-22s %12.3e %s %10.0f %8.0f %8.2fx\n",
+			c.Label(), ber, FormatMTTDL(mttdl), cycles, gates, overhead)
+	}
+	return nil
+}
+
+// renderExperiments prints each experiment like cmd/sweep does.
+func renderExperiments(w io.Writer, exps []expdata.Experiment, cres *campaign.Result) error {
+	results, err := expdata.ResultsFromCampaign(exps, cres)
+	if err != nil {
+		return err
+	}
+	for i, e := range exps {
+		fmt.Fprintf(w, "=== %s: %s ===\n", e.ID, e.Title)
+		fmt.Fprint(w, results[i].Plot(e.Title).Render())
+		for _, note := range results[i].Notes {
+			fmt.Fprintf(w, "  note: %s\n", note)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// SortedCounters formats a result's counters, one "name value" line
+// each, for quick inspection.
+func SortedCounters(cres *campaign.Result) []string {
+	names := cres.CounterNames()
+	sort.Strings(names)
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = fmt.Sprintf("%s %d", n, cres.Counters[n])
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+package expdata
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/textplot"
+)
+
+// scenario runs a list of experiments as one campaign: one trial per
+// experiment, so the engine shards independent experiments across the
+// worker pool and the registry inherits checkpointing for free.
+type scenario struct {
+	name string
+	exps []Experiment
+}
+
+// Scenario adapts the experiment list to the campaign engine. The
+// name identifies the campaign in results and checkpoints.
+func Scenario(name string, exps []Experiment) (campaign.Scenario, error) {
+	if len(exps) == 0 {
+		return nil, fmt.Errorf("expdata: no experiments")
+	}
+	if name == "" {
+		ids := make([]string, len(exps))
+		for i, e := range exps {
+			ids[i] = e.ID
+		}
+		name = "experiments:" + strings.Join(ids, ",")
+	}
+	return &scenario{name: name, exps: exps}, nil
+}
+
+// Name implements campaign.Scenario.
+func (s *scenario) Name() string { return s.name }
+
+// Trials implements campaign.Scenario.
+func (s *scenario) Trials() int { return len(s.exps) }
+
+// NewWorker implements campaign.Scenario. Experiments share no
+// mutable state, so the worker is just a view of the list.
+func (s *scenario) NewWorker() (campaign.Worker, error) { return expWorker{s}, nil }
+
+type expWorker struct{ scn *scenario }
+
+// Trial runs experiment i and flattens its result into the
+// accumulator: every series point becomes a sample tagged with the
+// experiment's trial index, every note a campaign note.
+func (w expWorker) Trial(i int, acc *campaign.Acc) error {
+	e := w.scn.exps[i]
+	res, err := e.Run()
+	if err != nil {
+		return fmt.Errorf("%s: %w", e.ID, err)
+	}
+	for _, s := range res.Series {
+		for p := range s.X {
+			acc.Sample(i, s.Label, s.X[p], s.Y[p])
+		}
+	}
+	for _, note := range res.Notes {
+		acc.Note(i, "%s", note)
+	}
+	return nil
+}
+
+// ResultsFromCampaign reassembles each experiment's Result from the
+// campaign output: samples are grouped by trial index (= experiment
+// position) and series label in order of first appearance, so a
+// reassembled result is identical to a direct Run.
+func ResultsFromCampaign(exps []Experiment, cres *campaign.Result) ([]*Result, error) {
+	if cres.Trials != len(exps) {
+		return nil, fmt.Errorf("expdata: campaign ran %d trials for %d experiments", cres.Trials, len(exps))
+	}
+	out := make([]*Result, len(exps))
+	for i, e := range exps {
+		out[i] = &Result{XLabel: e.XLabel, YLabel: e.YLabel, LogY: e.LogY}
+	}
+	seriesIdx := make(map[int]map[string]int) // trial -> label -> series position
+	for _, s := range cres.Samples {
+		if s.Trial < 0 || s.Trial >= len(exps) {
+			return nil, fmt.Errorf("expdata: sample for unknown trial %d", s.Trial)
+		}
+		res := out[s.Trial]
+		byLabel := seriesIdx[s.Trial]
+		if byLabel == nil {
+			byLabel = make(map[string]int)
+			seriesIdx[s.Trial] = byLabel
+		}
+		idx, ok := byLabel[s.Series]
+		if !ok {
+			idx = len(res.Series)
+			byLabel[s.Series] = idx
+			res.Series = append(res.Series, textplot.Series{Label: s.Series})
+		}
+		res.Series[idx].X = append(res.Series[idx].X, s.X)
+		res.Series[idx].Y = append(res.Series[idx].Y, s.Y)
+	}
+	for _, n := range cres.Notes {
+		if n.Trial < 0 || n.Trial >= len(exps) {
+			return nil, fmt.Errorf("expdata: note for unknown trial %d", n.Trial)
+		}
+		out[n.Trial].Notes = append(out[n.Trial].Notes, n.Text)
+	}
+	return out, nil
+}
+
+// jsonFloat emits finite values as JSON numbers and non-finite ones
+// (an MTTDL of +Inf, say) as quoted strings instead of failing the
+// whole document.
+type jsonFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return json.Marshal(strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	return json.Marshal(v)
+}
+
+func jsonFloats(v []float64) []jsonFloat {
+	out := make([]jsonFloat, len(v))
+	for i, x := range v {
+		out[i] = jsonFloat(x)
+	}
+	return out
+}
+
+// jsonSeries and jsonResult are the machine-readable result schema.
+type jsonSeries struct {
+	Label string      `json:"label"`
+	X     []jsonFloat `json:"x"`
+	Y     []jsonFloat `json:"y"`
+}
+
+type jsonResult struct {
+	ID     string       `json:"id,omitempty"`
+	Title  string       `json:"title,omitempty"`
+	XLabel string       `json:"x_label"`
+	YLabel string       `json:"y_label"`
+	LogY   bool         `json:"log_y,omitempty"`
+	Series []jsonSeries `json:"series"`
+	Notes  []string     `json:"notes,omitempty"`
+}
+
+// WriteJSON emits one experiment result as indented JSON. id and
+// title are optional identification fields.
+func WriteJSON(w io.Writer, id, title string, res *Result) error {
+	doc := jsonResult{
+		ID:     id,
+		Title:  title,
+		XLabel: res.XLabel,
+		YLabel: res.YLabel,
+		LogY:   res.LogY,
+		Notes:  res.Notes,
+	}
+	for _, s := range res.Series {
+		doc.Series = append(doc.Series, jsonSeries{Label: s.Label, X: jsonFloats(s.X), Y: jsonFloats(s.Y)})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&doc)
+}
+
+// WriteCSV emits the result's series in long format:
+// series,<x_label>,<y_label> with one row per point.
+func WriteCSV(w io.Writer, res *Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", res.XLabel, res.YLabel}); err != nil {
+		return err
+	}
+	for _, s := range res.Series {
+		for i := range s.X {
+			if err := cw.Write([]string{
+				s.Label,
+				strconv.FormatFloat(s.X[i], 'g', -1, 64),
+				strconv.FormatFloat(s.Y[i], 'g', -1, 64),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCampaignCSV emits a raw campaign result as CSV: one block of
+// counter rows followed by one row per sample.
+func WriteCampaignCSV(w io.Writer, cres *campaign.Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"kind", "name", "trial", "x", "y"}); err != nil {
+		return err
+	}
+	for _, name := range cres.CounterNames() {
+		if err := cw.Write([]string{"counter", name, "", "", strconv.FormatInt(cres.Counters[name], 10)}); err != nil {
+			return err
+		}
+	}
+	for _, s := range cres.Samples {
+		if err := cw.Write([]string{
+			"sample", s.Series, strconv.Itoa(s.Trial),
+			strconv.FormatFloat(s.X, 'g', -1, 64),
+			strconv.FormatFloat(s.Y, 'g', -1, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,148 @@
+package expdata
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/textplot"
+)
+
+// TestCampaignReassemblyMatchesDirectRun: running experiments through
+// the campaign engine and reassembling must reproduce the direct
+// Run() output exactly, regardless of worker count.
+func TestCampaignReassemblyMatchesDirectRun(t *testing.T) {
+	var exps []Experiment
+	for _, id := range []string{"fig5", "tbl-td", "tbl-area"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %q missing", id)
+		}
+		exps = append(exps, e)
+	}
+	var want []*Result
+	for _, e := range exps {
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, res)
+	}
+
+	for _, workers := range []int{1, 3} {
+		scn, err := Scenario("paper-tables", exps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cres, err := campaign.Run(scn, campaign.Config{Workers: workers, ShardSize: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cres.Scenario != "paper-tables" {
+			t.Errorf("scenario name %q", cres.Scenario)
+		}
+		got, err := ResultsFromCampaign(exps, cres)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range exps {
+			if !reflect.DeepEqual(want[i], got[i]) {
+				t.Errorf("workers=%d: %s reassembled differently:\nwant %+v\ngot  %+v",
+					workers, exps[i].ID, want[i], got[i])
+			}
+		}
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	if _, err := Scenario("x", nil); err == nil {
+		t.Error("empty experiment list accepted")
+	}
+	e, _ := ByID("tbl-td")
+	scn, err := Scenario("", []Experiment{e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(scn.Name(), "tbl-td") {
+		t.Errorf("default name %q should mention the experiment", scn.Name())
+	}
+}
+
+func TestWriteJSONAndCSV(t *testing.T) {
+	res := &Result{
+		XLabel: "hours", YLabel: "BER", LogY: true,
+		Series: []textplot.Series{
+			{Label: "a", X: []float64{0, 1}, Y: []float64{1e-9, math.Inf(1)}},
+		},
+		Notes: []string{"hello"},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, "fig0", "title", res); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("WriteJSON produced invalid JSON despite +Inf sample: %v\n%s", err, buf.String())
+	}
+	if doc["id"] != "fig0" || doc["x_label"] != "hours" {
+		t.Errorf("unexpected JSON doc: %v", doc)
+	}
+
+	buf.Reset()
+	if err := WriteCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want header + 2 points:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "series,hours,BER" {
+		t.Errorf("CSV header %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "+Inf") {
+		t.Errorf("CSV lost the +Inf point: %q", lines[2])
+	}
+}
+
+func TestWriteCampaignCSV(t *testing.T) {
+	cres := &campaign.Result{
+		Scenario: "s", Trials: 2,
+		Counters: map[string]int64{"hits": 3, "misses": 1},
+		Samples:  []campaign.Sample{{Trial: 0, Series: "ber", X: 1, Y: 2e-6}},
+	}
+	var buf bytes.Buffer
+	if err := WriteCampaignCSV(&buf, cres); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"counter,hits,,,3", "counter,misses,,,1", "sample,ber,0,1,2e-06"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("campaign CSV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRegistryMetaStamped: every experiment's Run output must carry
+// the registry's axis metadata (the single-source guarantee the
+// campaign reassembly relies on).
+func TestRegistryMetaStamped(t *testing.T) {
+	e, ok := ByID("fig5")
+	if !ok {
+		t.Fatal("fig5 missing")
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.XLabel != e.XLabel || res.YLabel != e.YLabel || res.LogY != e.LogY {
+		t.Errorf("run result meta (%q,%q,%t) != registry meta (%q,%q,%t)",
+			res.XLabel, res.YLabel, res.LogY, e.XLabel, e.YLabel, e.LogY)
+	}
+	if e.XLabel == "" || e.YLabel == "" {
+		t.Error("registry meta empty")
+	}
+}

@@ -47,89 +47,124 @@ func (r *Result) Plot(title string) *textplot.Plot {
 	}
 }
 
-// Experiment is one regenerable paper artifact.
+// Experiment is one regenerable paper artifact. XLabel, YLabel and
+// LogY are the static axis metadata of its result (the registry is
+// the single source; All() stamps them onto every Run output so
+// campaign-reassembled results and direct runs agree).
 type Experiment struct {
 	ID          string // e.g. "fig5"
 	Title       string
 	Description string
+	XLabel      string
+	YLabel      string
+	LogY        bool
 	Run         func() (*Result, error)
 }
 
 // All returns every registered experiment in paper order.
 func All() []Experiment {
-	return []Experiment{
+	exps := []Experiment{
 		{
 			ID:          "fig5",
 			Title:       "Figure 5: BER of simplex RS(18,16) under different SEU rates",
 			Description: "0-48 h storage, lambda in {7.3e-7, 3.6e-6, 1.7e-5}/bit/day, no permanent faults, no scrubbing.",
-			Run:         fig5,
+			XLabel:      "hours", YLabel: "BER", LogY: true,
+			Run: fig5,
 		},
 		{
 			ID:          "fig6",
 			Title:       "Figure 6: BER of duplex RS(18,16) under different SEU rates",
 			Description: "Same sweep as Figure 5 on the duplex arrangement; the ranges must match Figure 5.",
-			Run:         fig6,
+			XLabel:      "hours", YLabel: "BER", LogY: true,
+			Run: fig6,
 		},
 		{
 			ID:          "fig7",
 			Title:       "Figure 7: BER of duplex RS(18,16), worst-case SEU rate, variable scrubbing period",
 			Description: "lambda = 1.7e-5/bit/day, Tsc in {900, 1200, 1800, 3600} s; hourly scrubbing must hold BER below 1e-6.",
-			Run:         fig7,
+			XLabel:      "hours", YLabel: "BER", LogY: true,
+			Run: fig7,
 		},
 		{
 			ID:          "fig8",
 			Title:       "Figure 8: BER of simplex RS(18,16), varying permanent fault rate",
 			Description: "24 months of storage, lambdaE in {1e-4 .. 1e-10}/symbol/day, no scrubbing.",
-			Run:         fig8,
+			XLabel:      "months", YLabel: "BER", LogY: true,
+			Run: fig8,
 		},
 		{
 			ID:          "fig9",
 			Title:       "Figure 9: BER of duplex RS(18,16), varying permanent fault rate",
 			Description: "Same sweep as Figure 8 on the duplex arrangement; the arbiter's erasure masking dominates.",
-			Run:         fig9,
+			XLabel:      "months", YLabel: "BER", LogY: true,
+			Run: fig9,
 		},
 		{
 			ID:          "fig10",
 			Title:       "Figure 10: BER of simplex RS(36,16), varying permanent fault rate",
 			Description: "Same sweep with the equal-redundancy wide code; its 20 check symbols push BER off the bottom of every axis.",
-			Run:         fig10,
+			XLabel:      "months", YLabel: "BER", LogY: true,
+			Run: fig10,
 		},
 		{
 			ID:          "tbl-td",
 			Title:       "Section 6: decoder latency comparison (Td ~ 3n + 10(n-k))",
 			Description: "RS(36,16) vs RS(18,16): 308 vs 74 cycles, a >4x access-time penalty for the wide code.",
-			Run:         tableTd,
+			XLabel:      "arrangement index", YLabel: "decode cycles",
+			Run: tableTd,
 		},
 		{
 			ID:          "tbl-area",
 			Title:       "Section 6: decoder area comparison (gates ~ m*(n-k))",
 			Description: "One RS(36,16) decoder vs two RS(18,16) decoders: the duplex pair is smaller.",
-			Run:         tableArea,
+			XLabel:      "arrangement index", YLabel: "gates",
+			Run: tableArea,
 		},
 		{
 			ID:          "xval",
 			Title:       "Cross-validation: Markov chains vs Monte Carlo fault injection",
 			Description: "At accelerated rates, the chains' Fail probability must sit in the simulator's confidence band; the real arbiter is measurably less pessimistic than the duplex chain.",
-			Run:         crossValidation,
+			XLabel:      "case index", YLabel: "P(fail)",
+			Run: crossValidation,
 		},
 		{
 			ID:          "ext-baselines",
 			Title:       "Extension: RS arrangements vs SEC-DED and TMR at equal data width",
 			Description: "128-bit datawords under the worst-case SEU rate with light permanent faults and hourly scrubbing: the EDAC baselines the paper's introduction positions RS against.",
-			Run:         extBaselines,
+			XLabel:      "hours", YLabel: "P(128-bit block unrecoverable)", LogY: true,
+			Run: extBaselines,
 		},
 		{
 			ID:          "ext-array",
 			Title:       "Extension: whole-memory mission reliability (1 GiB SSMM, 24 months)",
 			Description: "The paper's 'straightforward' whole-memory extension: probability the SSMM survives the mission without losing any word, per arrangement.",
-			Run:         extArray,
+			XLabel:      "months", YLabel: "P(any word lost)", LogY: true,
+			Run: extArray,
 		},
 		{
 			ID:          "ext-mbu",
 			Title:       "Extension: multi-bit upsets — symbol-organized RS vs bit-organized baselines",
 			Description: "Burst-length sweep with Poisson event injection through the real codecs: where ext-baselines' single-bit chains favor SEC-DED, physical bursts favor Reed-Solomon symbols.",
-			Run:         extMBU,
+			XLabel:      "burst length (bits)", YLabel: "P(128-bit payload lost)",
+			Run: extMBU,
 		},
+	}
+	for i := range exps {
+		exps[i].Run = withMeta(exps[i], exps[i].Run)
+	}
+	return exps
+}
+
+// withMeta stamps the registry's axis metadata onto the run output,
+// keeping direct runs and campaign-reassembled results consistent.
+func withMeta(e Experiment, run func() (*Result, error)) func() (*Result, error) {
+	return func() (*Result, error) {
+		res, err := run()
+		if err != nil {
+			return nil, err
+		}
+		res.XLabel, res.YLabel, res.LogY = e.XLabel, e.YLabel, e.LogY
+		return res, nil
 	}
 }
 

@@ -12,13 +12,21 @@
 // campaigns inject Poisson-distributed burst events (rate proportional
 // to each system's stored size, so denser redundancy honestly costs
 // exposure) and measure the unrecovered fraction.
+//
+// Campaigns run on the internal/campaign engine: every trial draws
+// its burst pattern from a seed derived from (system, trial), so the
+// aggregate statistics are reproducible for a fixed Config.Seed
+// regardless of the worker count, and long campaigns inherit the
+// engine's checkpointing and early stopping.
 package mbusim
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/gf"
 	"repro/internal/hamming"
 	"repro/internal/interleave"
@@ -38,6 +46,9 @@ type System interface {
 	// Trial stores a fresh random 128-bit payload, applies the burst
 	// events (start bit, length) to the stored image, attempts
 	// recovery and reports whether the payload came back exactly.
+	// Campaigns shard trials over goroutines, so Trial must be safe
+	// for concurrent use on a shared receiver (the stock systems are
+	// stateless; per-trial state lives on the stack and in rng).
 	Trial(rng *rand.Rand, bursts [][2]int) (recovered bool, err error)
 }
 
@@ -260,7 +271,15 @@ type Config struct {
 	BurstBits int
 	Trials    int
 	Seed      int64
+	// Workers is the goroutine count for the campaign engine; 0 means
+	// GOMAXPROCS.
+	Workers int
 }
+
+// LostCounter and EventsCounter name the campaign counters recorded
+// per system.
+func LostCounter(system string) string   { return "lost/" + system }
+func EventsCounter(system string) string { return "events/" + system }
 
 // Validate checks the configuration.
 func (c Config) Validate() error {
@@ -285,45 +304,116 @@ type SystemResult struct {
 	LossFraction float64
 }
 
-// Run executes the campaign over the given systems.
-func Run(cfg Config, systems []System) ([]SystemResult, error) {
+// scenario adapts a burst campaign to the engine: one campaign trial
+// injects one independent burst pattern into every system.
+type scenario struct {
+	cfg     Config
+	systems []System
+	// lostKeys/eventsKeys cache counter names so the trial loop does
+	// no per-trial string concatenation.
+	lostKeys, eventsKeys []string
+}
+
+// Scenario adapts the configuration and system set to the campaign
+// engine's Scenario interface.
+func Scenario(cfg Config, systems []System) (campaign.Scenario, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if len(systems) == 0 {
 		return nil, fmt.Errorf("mbusim: no systems")
 	}
+	s := &scenario{cfg: cfg, systems: systems}
+	for _, sys := range systems {
+		s.lostKeys = append(s.lostKeys, LostCounter(sys.Name()))
+		s.eventsKeys = append(s.eventsKeys, EventsCounter(sys.Name()))
+	}
+	return s, nil
+}
+
+// Name encodes the configuration and system set so checkpoints from a
+// different campaign are rejected.
+func (s *scenario) Name() string {
+	names := make([]string, len(s.systems))
+	for i, sys := range s.systems {
+		names[i] = sys.Name()
+	}
+	return fmt.Sprintf("mbusim:epk=%g:burst=%d:seed=%d:%s",
+		s.cfg.EventsPerKilobit, s.cfg.BurstBits, s.cfg.Seed, strings.Join(names, ","))
+}
+
+// Trials implements campaign.Scenario.
+func (s *scenario) Trials() int { return s.cfg.Trials }
+
+// NewWorker implements campaign.Scenario.
+func (s *scenario) NewWorker() (campaign.Worker, error) {
+	return &worker{scn: s, rng: rand.New(rand.NewSource(0))}, nil
+}
+
+// worker owns the per-goroutine RNG and the recycled burst buffer.
+type worker struct {
+	scn    *scenario
+	rng    *rand.Rand
+	bursts [][2]int
+}
+
+// Trial implements campaign.Worker: each (system, trial) pair draws
+// from its own deterministic seed, making the campaign independent of
+// sharding.
+func (w *worker) Trial(trial int, acc *campaign.Acc) error {
+	cfg := w.scn.cfg
+	for i, sys := range w.scn.systems {
+		w.rng.Seed(campaign.TrialSeed(cfg.Seed+int64(i)*7919, trial))
+		mean := cfg.EventsPerKilobit * float64(sys.StoredBits()) / 1000
+		n := poisson(w.rng, mean)
+		w.bursts = w.bursts[:0]
+		for j := 0; j < n; j++ {
+			w.bursts = append(w.bursts, [2]int{w.rng.Intn(sys.StoredBits()), cfg.BurstBits})
+		}
+		acc.Add(w.scn.eventsKeys[i], int64(n))
+		ok, err := sys.Trial(w.rng, w.bursts)
+		if err != nil {
+			return fmt.Errorf("mbusim: %s: %w", sys.Name(), err)
+		}
+		if !ok {
+			acc.Add(w.scn.lostKeys[i], 1)
+		}
+	}
+	return nil
+}
+
+// ResultsFromCampaign reassembles per-system results from the
+// engine's counters.
+func ResultsFromCampaign(systems []System, cres *campaign.Result) []SystemResult {
 	out := make([]SystemResult, len(systems))
 	for i, sys := range systems {
-		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
-		mean := cfg.EventsPerKilobit * float64(sys.StoredBits()) / 1000
-		lost := 0
-		var events int64
-		for trial := 0; trial < cfg.Trials; trial++ {
-			n := poisson(rng, mean)
-			events += int64(n)
-			bursts := make([][2]int, n)
-			for j := range bursts {
-				bursts[j] = [2]int{rng.Intn(sys.StoredBits()), cfg.BurstBits}
-			}
-			ok, err := sys.Trial(rng, bursts)
-			if err != nil {
-				return nil, fmt.Errorf("mbusim: %s: %w", sys.Name(), err)
-			}
-			if !ok {
-				lost++
-			}
-		}
+		lost := cres.Counter(LostCounter(sys.Name()))
+		events := cres.Counter(EventsCounter(sys.Name()))
 		out[i] = SystemResult{
 			Name:         sys.Name(),
 			StoredBits:   sys.StoredBits(),
-			Trials:       cfg.Trials,
-			Lost:         lost,
-			MeanEvents:   float64(events) / float64(cfg.Trials),
-			LossFraction: float64(lost) / float64(cfg.Trials),
+			Trials:       cres.Trials,
+			Lost:         int(lost),
+			MeanEvents:   float64(events) / float64(cres.Trials),
+			LossFraction: float64(lost) / float64(cres.Trials),
 		}
 	}
-	return out, nil
+	return out
+}
+
+// Run executes the campaign over the given systems on the shared
+// engine. Statistics are deterministic for a fixed Config.Seed,
+// independent of Workers.
+func Run(cfg Config, systems []System) ([]SystemResult, error) {
+	scn, err := Scenario(cfg, systems)
+	if err != nil {
+		return nil, err
+	}
+	cres, err := campaign.Run(scn, campaign.Config{Workers: cfg.Workers})
+	if err != nil {
+		return nil, err
+	}
+	return ResultsFromCampaign(systems, cres), nil
 }
 
 // poisson samples a Poisson variate by Knuth's method (means here are

@@ -3,6 +3,7 @@ package mbusim
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/gf"
@@ -215,6 +216,28 @@ func TestCampaignBurstOrdering(t *testing.T) {
 	}
 	if tmrLoss := byName["TMR voter"].LossFraction; tmrLoss > rs20Loss {
 		t.Errorf("TMR at 3x overhead should not lose more than RS(20,16): %v vs %v", tmrLoss, rs20Loss)
+	}
+}
+
+// TestDeterminismAcrossWorkerCounts: per-(system, trial) reseeding
+// makes the campaign statistics bit-identical for any worker count.
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	systems := defaultSystems(t)
+	base := Config{EventsPerKilobit: 4, BurstBits: 4, Trials: 1000, Seed: 99}
+	var results [][]SystemResult
+	for _, workers := range []int{1, 4, 8} {
+		cfg := base
+		cfg.Workers = workers
+		res, err := Run(cfg, systems)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	for i := 1; i < len(results); i++ {
+		if !reflect.DeepEqual(results[0], results[i]) {
+			t.Errorf("worker count changed results:\n%+v\nvs\n%+v", results[0], results[i])
+		}
 	}
 }
 

@@ -17,6 +17,12 @@
 //
 // All rates are per hour; trials are independent and reproducible
 // from Config.Seed regardless of worker count.
+//
+// Campaigns run on the internal/campaign engine: Config.Scenario
+// adapts a configuration to the engine's Scenario interface, Run is
+// the convenience wrapper for plain full-length campaigns, and
+// RunCampaign exposes the engine's checkpointing and early-stopping
+// controls while still returning the familiar Result.
 package memsim
 
 import (
@@ -24,10 +30,9 @@ import (
 	"math"
 	"math/bits"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"repro/internal/arbiter"
+	"repro/internal/campaign"
 	"repro/internal/gf"
 	"repro/internal/rs"
 	"repro/internal/scrub"
@@ -82,6 +87,42 @@ func (c Config) Validate() error {
 	}
 	return nil
 }
+
+// Counter keys under which the scenario reports into the campaign
+// engine; ResultFromCampaign maps them back into a Result.
+const (
+	CounterCorrect             = "correct"
+	CounterWrongOutput         = "wrong_output"
+	CounterNoOutput            = "no_output"
+	CounterCapabilityExceeded  = "capability_exceeded"
+	CounterDataBitErrors       = "data_bit_errors"
+	CounterSEUs                = "seus"
+	CounterPermanentFaults     = "permanent_faults"
+	CounterScrubOps            = "scrub_ops"
+	CounterScrubMiscorrections = "scrub_miscorrections"
+
+	// VerdictCounterPrefix prefixes one counter per arbiter verdict
+	// (duplex campaigns only), e.g. "verdict/no-error".
+	VerdictCounterPrefix = "verdict/"
+)
+
+// allVerdicts enumerates the arbiter decision paths for counter
+// round-tripping; verdictKeys caches the counter names so the duplex
+// hot path performs no per-trial string concatenation.
+var (
+	allVerdicts = []arbiter.Verdict{
+		arbiter.NoError, arbiter.CorrectedAgree, arbiter.FlagResolved,
+		arbiter.OneWordFailed, arbiter.BothFlaggedDiffer,
+		arbiter.DifferNoFlags, arbiter.BothFailed,
+	}
+	verdictKeys = func() map[arbiter.Verdict]string {
+		keys := make(map[arbiter.Verdict]string, len(allVerdicts))
+		for _, v := range allVerdicts {
+			keys[v] = VerdictCounterPrefix + v.String()
+		}
+		return keys
+	}()
+)
 
 // Result aggregates a campaign.
 type Result struct {
@@ -139,23 +180,7 @@ func (r *Result) PaperBER() float64 {
 // WilsonInterval returns the Wilson score interval for a binomial
 // proportion at the given z (e.g. 1.96 for 95%).
 func WilsonInterval(successes, trials int, z float64) (lo, hi float64) {
-	if trials == 0 {
-		return 0, 1
-	}
-	n := float64(trials)
-	p := float64(successes) / n
-	z2 := z * z
-	denom := 1 + z2/n
-	center := (p + z2/(2*n)) / denom
-	half := z / denom * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
-	lo, hi = center-half, center+half
-	if lo < 0 {
-		lo = 0
-	}
-	if hi > 1 {
-		hi = 1
-	}
-	return lo, hi
+	return campaign.Wilson(int64(successes), int64(trials), z)
 }
 
 // module is one memory module holding a (possibly corrupted) codeword.
@@ -298,63 +323,99 @@ func newWorker(cfg Config) *worker {
 	return w
 }
 
-// Run executes the campaign, distributing trials over workers. The
-// result is deterministic for a fixed Config (including Seed),
-// independent of Workers.
-func Run(cfg Config) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
+// scenario adapts a validated Config to the campaign engine.
+type scenario struct{ cfg Config }
+
+// Scenario adapts the configuration to the campaign engine's
+// Scenario interface (validating it first), for callers that want the
+// engine's checkpointing, early stopping or spec-file integration.
+func (c Config) Scenario() (campaign.Scenario, error) {
+	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > cfg.Trials {
-		workers = cfg.Trials
-	}
+	return scenario{cfg: c}, nil
+}
 
-	results := make([]Result, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			acc := &results[w]
-			acc.Verdicts = make(map[arbiter.Verdict]int)
-			ws := newWorker(cfg)
-			for trial := w; trial < cfg.Trials; trial += workers {
-				ws.runTrial(trial, acc)
-			}
-		}(w)
-	}
-	wg.Wait()
+// Name encodes the full configuration so checkpoints from a different
+// campaign are rejected rather than silently merged.
+func (s scenario) Name() string {
+	c := s.cfg
+	return fmt.Sprintf("memsim:%v:duplex=%t:lb=%g:ls=%g:scrub=%g:exp=%t:lat=%g:xrep=%t:h=%g:seed=%d",
+		c.Code, c.Duplex, c.LambdaBit, c.LambdaSymbol, c.ScrubPeriod,
+		c.ExponentialScrub, c.DetectionLatency, c.CrossRepair, c.Horizon, c.Seed)
+}
 
-	total := &Result{Config: cfg, Trials: cfg.Trials, Verdicts: make(map[arbiter.Verdict]int)}
-	for i := range results {
-		r := &results[i]
-		total.Correct += r.Correct
-		total.WrongOutput += r.WrongOutput
-		total.NoOutput += r.NoOutput
-		total.CapabilityExceeded += r.CapabilityExceeded
-		total.DataBitErrors += r.DataBitErrors
-		total.SEUs += r.SEUs
-		total.PermanentFaults += r.PermanentFaults
-		total.ScrubOps += r.ScrubOps
-		total.ScrubMiscorrections += r.ScrubMiscorrections
-		for v, c := range r.Verdicts {
-			total.Verdicts[v] += c
+// Trials implements campaign.Scenario.
+func (s scenario) Trials() int { return s.cfg.Trials }
+
+// NewWorker implements campaign.Scenario.
+func (s scenario) NewWorker() (campaign.Worker, error) { return newWorker(s.cfg), nil }
+
+// Trial implements campaign.Worker.
+func (ws *worker) Trial(trial int, acc *campaign.Acc) error {
+	ws.runTrial(trial, acc)
+	return nil
+}
+
+// ResultFromCampaign reassembles the simulator's Result from the
+// engine's counter set.
+func ResultFromCampaign(cfg Config, cres *campaign.Result) *Result {
+	r := &Result{
+		Config:              cfg,
+		Trials:              cres.Trials,
+		Correct:             int(cres.Counter(CounterCorrect)),
+		WrongOutput:         int(cres.Counter(CounterWrongOutput)),
+		NoOutput:            int(cres.Counter(CounterNoOutput)),
+		CapabilityExceeded:  int(cres.Counter(CounterCapabilityExceeded)),
+		DataBitErrors:       cres.Counter(CounterDataBitErrors),
+		SEUs:                cres.Counter(CounterSEUs),
+		PermanentFaults:     cres.Counter(CounterPermanentFaults),
+		ScrubOps:            cres.Counter(CounterScrubOps),
+		ScrubMiscorrections: cres.Counter(CounterScrubMiscorrections),
+		Verdicts:            make(map[arbiter.Verdict]int),
+	}
+	for _, v := range allVerdicts {
+		if c := cres.Counter(VerdictCounterPrefix + v.String()); c != 0 {
+			r.Verdicts[v] = int(c)
 		}
 	}
-	return total, nil
+	return r
+}
+
+// Run executes the campaign on the shared engine, distributing trials
+// over workers. The result is deterministic for a fixed Config
+// (including Seed), independent of Workers.
+func Run(cfg Config) (*Result, error) {
+	res, _, err := RunCampaign(cfg, campaign.Config{})
+	return res, err
+}
+
+// RunCampaign executes the campaign with explicit engine controls
+// (checkpoint path, early stopping, progress); ecfg.Workers defaults
+// to cfg.Workers when zero. It returns both the simulator-level and
+// the raw engine result (for early-stop and resume bookkeeping).
+func RunCampaign(cfg Config, ecfg campaign.Config) (*Result, *campaign.Result, error) {
+	scn, err := cfg.Scenario()
+	if err != nil {
+		return nil, nil, err
+	}
+	if ecfg.Workers == 0 {
+		ecfg.Workers = cfg.Workers
+	}
+	cres, err := campaign.Run(scn, ecfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ResultFromCampaign(cfg, cres), cres, nil
 }
 
 // runTrial simulates one stored word (pair) from write to final read.
-func (ws *worker) runTrial(trial int, acc *Result) {
+func (ws *worker) runTrial(trial int, acc *campaign.Acc) {
 	cfg := ws.cfg
 	// Reseeding the worker RNG per trial keeps trials independent and
 	// reproducible regardless of which worker runs them, without
 	// rebuilding the generator's state tables on the heap each time.
-	ws.rng.Seed(cfg.Seed + int64(trial)*0x9E3779B9)
+	ws.rng.Seed(campaign.TrialSeed(cfg.Seed, trial))
 	rng := ws.rng
 	code := cfg.Code
 	n, m := code.N(), code.Field().M()
@@ -395,10 +456,10 @@ func (ws *worker) runTrial(trial int, acc *Result) {
 		mo := ws.mods[rng.Intn(len(ws.mods))]
 		if rng.Float64()*(seuRate+permRate) < seuRate {
 			mo.flip(rng.Intn(n), rng.Intn(m))
-			acc.SEUs++
+			acc.Add(CounterSEUs, 1)
 		} else {
 			mo.stick(rng.Intn(n), rng.Intn(m), uint16(rng.Intn(2)), t+cfg.DetectionLatency)
-			acc.PermanentFaults++
+			acc.Add(CounterPermanentFaults, 1)
 		}
 	}
 	ws.finalRead(cfg.Horizon, acc)
@@ -433,8 +494,8 @@ func (ws *worker) maskPair(t float64) (w1, w2 []gf.Elem, shared []int) {
 // doScrub reads, corrects and rewrites the stored word(s) through the
 // real decoder. A detected-uncorrectable word is left untouched; a
 // mis-corrected word is entrenched (and counted).
-func (ws *worker) doScrub(t float64, acc *Result) {
-	acc.ScrubOps++
+func (ws *worker) doScrub(t float64, acc *campaign.Acc) {
+	acc.Add(CounterScrubOps, 1)
 	cfg := ws.cfg
 	if !cfg.Duplex {
 		mo := ws.mods[0]
@@ -444,7 +505,7 @@ func (ws *worker) doScrub(t float64, acc *Result) {
 		}
 		mo.write(res.Codeword)
 		if !equalWords(res.Codeword, ws.truth) {
-			acc.ScrubMiscorrections++
+			acc.Add(CounterScrubMiscorrections, 1)
 		}
 		return
 	}
@@ -454,7 +515,7 @@ func (ws *worker) doScrub(t float64, acc *Result) {
 	rewrite := func(mo *module, r *rs.Result) {
 		mo.write(r.Codeword)
 		if !equalWords(r.Codeword, ws.truth) {
-			acc.ScrubMiscorrections++
+			acc.Add(CounterScrubMiscorrections, 1)
 		}
 	}
 	switch {
@@ -476,31 +537,31 @@ func (ws *worker) doScrub(t float64, acc *Result) {
 
 // finalRead performs the paper's read-at-stopping-time and classifies
 // the outcome.
-func (ws *worker) finalRead(t float64, acc *Result) {
+func (ws *worker) finalRead(t float64, acc *campaign.Acc) {
 	cfg := ws.cfg
 	code := cfg.Code
 	if !cfg.Duplex {
 		mo := ws.mods[0]
 		erasures := mo.erasuresInto(ws.e1, t)
 		if ws.exceedsCapability(mo.stored, erasures) {
-			acc.CapabilityExceeded++
+			acc.Add(CounterCapabilityExceeded, 1)
 		}
 		res, err := ws.dec1.Decode(mo.stored, erasures)
 		switch {
 		case err != nil:
-			acc.NoOutput++
+			acc.Add(CounterNoOutput, 1)
 		case equalWords(res.Data, ws.truth[:code.K()]):
-			acc.Correct++
+			acc.Add(CounterCorrect, 1)
 		default:
-			acc.WrongOutput++
-			acc.DataBitErrors += bitErrors(res.Data, ws.truth[:code.K()])
+			acc.Add(CounterWrongOutput, 1)
+			acc.Add(CounterDataBitErrors, bitErrors(res.Data, ws.truth[:code.K()]))
 		}
 		return
 	}
 
 	w1, w2, shared := ws.maskPair(t)
 	if ws.exceedsCapability(w1, shared) || ws.exceedsCapability(w2, shared) {
-		acc.CapabilityExceeded++
+		acc.Add(CounterCapabilityExceeded, 1)
 	}
 	e1 := ws.modBuf[0].erasuresInto(ws.e1, t)
 	e2 := ws.modBuf[1].erasuresInto(ws.e2, t)
@@ -508,15 +569,15 @@ func (ws *worker) finalRead(t float64, acc *Result) {
 	if err != nil {
 		panic(fmt.Sprintf("memsim: arbiter: %v", err)) // inputs are structurally valid
 	}
-	acc.Verdicts[res.Verdict]++
+	acc.Add(verdictKeys[res.Verdict], 1)
 	switch {
 	case !res.OK:
-		acc.NoOutput++
+		acc.Add(CounterNoOutput, 1)
 	case equalWords(res.Data, ws.truth[:code.K()]):
-		acc.Correct++
+		acc.Add(CounterCorrect, 1)
 	default:
-		acc.WrongOutput++
-		acc.DataBitErrors += bitErrors(res.Data, ws.truth[:code.K()])
+		acc.Add(CounterWrongOutput, 1)
+		acc.Add(CounterDataBitErrors, bitErrors(res.Data, ws.truth[:code.K()]))
 	}
 }
 

@@ -1,10 +1,15 @@
 package memsim
 
 import (
+	"errors"
 	"math"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/arbiter"
+	"repro/internal/campaign"
 	"repro/internal/duplex"
 	"repro/internal/gf"
 	"repro/internal/rs"
@@ -58,23 +63,120 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 		LambdaBit: 2e-4, LambdaSymbol: 1e-5,
 		ScrubPeriod: 10, Horizon: 48, Trials: 300, Seed: 42,
 	}
-	one := base
-	one.Workers = 1
-	many := base
-	many.Workers = 7
-	r1, err := Run(one)
+	var results []*Result
+	for _, workers := range []int{1, 4, 7, 8} {
+		cfg := base
+		cfg.Workers = workers
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Config = Config{} // worker count must be the only difference
+		results = append(results, r)
+	}
+	for i := 1; i < len(results); i++ {
+		if !reflect.DeepEqual(results[0], results[i]) {
+			t.Errorf("worker count changed results:\nbase: %+v\nvariant %d: %+v", results[0], i, results[i])
+		}
+	}
+}
+
+// TestResumedCampaignMatchesUninterrupted interrupts a checkpointed
+// fault-injection campaign partway and verifies the resumed run is
+// bit-identical to an uninterrupted one — the engine's resumability
+// guarantee exercised through the real simulator.
+func TestResumedCampaignMatchesUninterrupted(t *testing.T) {
+	cfg := Config{
+		Code: code, Duplex: true,
+		LambdaBit: 3e-4, LambdaSymbol: 2e-5,
+		ScrubPeriod: 8, Horizon: 48, Trials: 600, Seed: 77,
+	}
+	want, _, err := RunCampaign(cfg, campaign.Config{Workers: 4, ShardSize: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Run(many)
+
+	cp := filepath.Join(t.TempDir(), "memsim.ckpt.json")
+	// Interrupted run: a trial budget makes workers fail once ~half
+	// the campaign has been dispatched; completed shards land in the
+	// checkpoint.
+	scn, err := cfg.Scenario()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r1.Correct != r2.Correct || r1.WrongOutput != r2.WrongOutput ||
-		r1.NoOutput != r2.NoOutput || r1.SEUs != r2.SEUs ||
-		r1.PermanentFaults != r2.PermanentFaults ||
-		r1.CapabilityExceeded != r2.CapabilityExceeded {
-		t.Errorf("worker count changed results:\n1: %+v\n7: %+v", r1, r2)
+	budget := &budgetScenario{Scenario: scn, remaining: 300}
+	if _, err := campaign.Run(budget, campaign.Config{Workers: 4, ShardSize: 64, Checkpoint: cp}); err == nil {
+		t.Fatal("interrupted campaign reported success")
+	}
+
+	res, cres, err := RunCampaign(cfg, campaign.Config{Workers: 4, ShardSize: 64, Checkpoint: cp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.ResumedTrials == 0 {
+		t.Fatal("resume recomputed every trial")
+	}
+	if !reflect.DeepEqual(want, res) {
+		t.Errorf("resumed campaign diverged:\nwant %+v\ngot  %+v", want, res)
+	}
+}
+
+// budgetScenario wraps a scenario so its workers fail after a shared
+// number of trials, simulating an interruption mid-campaign.
+type budgetScenario struct {
+	campaign.Scenario
+	remaining int64
+}
+
+func (b *budgetScenario) NewWorker() (campaign.Worker, error) {
+	w, err := b.Scenario.NewWorker()
+	if err != nil {
+		return nil, err
+	}
+	return &budgetWorker{inner: w, budget: &b.remaining}, nil
+}
+
+type budgetWorker struct {
+	inner  campaign.Worker
+	budget *int64
+}
+
+func (w *budgetWorker) Trial(trial int, acc *campaign.Acc) error {
+	if atomic.AddInt64(w.budget, -1) < 0 {
+		return errInterrupted
+	}
+	return w.inner.Trial(trial, acc)
+}
+
+var errInterrupted = errors.New("simulated interruption")
+
+// TestEarlyStopResolvesFailureFraction drives the real simulator with
+// a CI-width stopping rule: the campaign must stop before the full
+// trial budget while the capability-exceeded estimate is resolved to
+// the requested precision.
+func TestEarlyStopResolvesFailureFraction(t *testing.T) {
+	cfg := Config{
+		Code: code, LambdaBit: 6e-4, LambdaSymbol: 2e-4,
+		Horizon: 48, Trials: 200000, Seed: 4,
+	}
+	res, cres, err := RunCampaign(cfg, campaign.Config{
+		Workers: 4,
+		Stop: &campaign.EarlyStop{
+			Counter:      CounterCapabilityExceeded,
+			RelHalfWidth: 0.10,
+			MinTrials:    2000,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cres.EarlyStopped || res.Trials >= cfg.Trials {
+		t.Fatalf("campaign should stop early: ran %d of %d", res.Trials, cfg.Trials)
+	}
+	p := res.CapabilityExceededFraction()
+	lo, hi := WilsonInterval(res.CapabilityExceeded, res.Trials, 1.96)
+	if (hi-lo)/2 > 0.10*p {
+		t.Errorf("stopped with interval [%v, %v] still wider than 10%% of %v", lo, hi, p)
 	}
 }
 
