@@ -1,6 +1,7 @@
 // Command campaign runs a declarative multi-scenario spec file on the
 // shared experiment engine: Monte Carlo fault injection, multi-bit
-// upset comparisons, analytic BER curves, design-space sweeps and
+// upset comparisons, page-level interleaving sweeps, whole-memory
+// cross-validation, analytic BER curves, design-space sweeps and
 // whole registry experiments, all sharded over a worker pool with
 // deterministic seeding, optional checkpointing, early stopping and
 // pass/fail tolerance bands.
@@ -8,14 +9,20 @@
 // Usage:
 //
 //	campaign -spec examples/campaign/spec.json
-//	campaign -spec examples/campaign/nightly.json -out results/
+//	campaign -spec examples/campaign/matrix.json -out results/
 //	campaign -spec spec.json -list
+//
+// A spec entry with a "matrix" field expands into the cross-product
+// of its parameter lists (-list shows the expanded grid); the cells
+// run as independent scenarios and their results are additionally
+// summarized as one grid table per matrix entry.
 //
 // With -out, every scenario additionally writes <name>.json (the raw
 // engine result) and <name>.csv (counters and samples) into the
-// directory. The exit status is non-zero if any scenario fails to
-// build or run, or if any expectation band is violated — which is
-// what lets CI gate on probability drift.
+// directory; matrix cells land in a subdirectory named after the
+// matrix entry, one CSV per cell. The exit status is non-zero if any
+// scenario fails to build or run, or if any expectation band is
+// violated — which is what lets CI gate on probability drift.
 package main
 
 import (
@@ -73,15 +80,41 @@ func main() {
 	}
 
 	failures := 0
+	// Matrix cells are summarized as one grid table per origin after
+	// all scenarios have run; their per-cell rendering is suppressed
+	// (a 12-cell sweep would drown the output).
+	var gridOrder []string
+	grids := make(map[string][]spec.GridCell)
+	cellCount := make(map[string]int)
 	for _, b := range built {
-		fmt.Printf("=== %s (%s, %d trials) ===\n", b.Entry.Name, b.Entry.Kind, b.Scenario.Trials())
+		cellCount[b.Entry.MatrixOrigin]++
+	}
+	headerPrinted := make(map[string]bool)
+	for _, b := range built {
+		// One header per matrix (at its first cell), not one per cell —
+		// the cells' results arrive as a single grid table at the end
+		// (which also shows each cell's own trial count; "trials" can
+		// itself be a swept axis).
+		if origin := b.Entry.MatrixOrigin; origin != "" {
+			if !headerPrinted[origin] {
+				headerPrinted[origin] = true
+				fmt.Printf("running matrix %s: %d %s cells...\n", origin, cellCount[origin], b.Entry.Kind)
+			}
+		} else {
+			fmt.Printf("=== %s (%s, %d trials) ===\n", b.Entry.Name, b.Entry.Kind, b.Scenario.Trials())
+		}
 		cres, err := campaign.Run(b.Scenario, b.EngineConfig(f))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "campaign: %s: %v\n", b.Entry.Name, err)
 			failures++
 			continue
 		}
-		if !*quiet {
+		if origin := b.Entry.MatrixOrigin; origin != "" {
+			if _, ok := grids[origin]; !ok {
+				gridOrder = append(gridOrder, origin)
+			}
+			grids[origin] = append(grids[origin], spec.GridCell{Built: b, Result: cres})
+		} else if !*quiet {
 			if err := b.Render(os.Stdout, cres); err != nil {
 				fmt.Fprintf(os.Stderr, "campaign: %s: render: %v\n", b.Entry.Name, err)
 				failures++
@@ -92,12 +125,26 @@ func main() {
 			failures++
 		}
 		if *outDir != "" {
-			if err := writeArtifacts(*outDir, b.Entry.Name, cres); err != nil {
+			if err := writeArtifacts(*outDir, b.Entry.ArtifactPath(), cres); err != nil {
 				fmt.Fprintf(os.Stderr, "campaign: %s: %v\n", b.Entry.Name, err)
 				failures++
 			}
 		}
-		fmt.Println()
+		if b.Entry.MatrixOrigin == "" {
+			fmt.Println()
+		}
+	}
+	if !*quiet {
+		if len(gridOrder) > 0 {
+			fmt.Println()
+		}
+		for _, origin := range gridOrder {
+			if err := spec.RenderGrid(os.Stdout, grids[origin]); err != nil {
+				fmt.Fprintf(os.Stderr, "campaign: %s: grid: %v\n", origin, err)
+				failures++
+			}
+			fmt.Println()
+		}
 	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "campaign: %d failure(s)\n", failures)
@@ -105,12 +152,19 @@ func main() {
 	}
 }
 
+// writeArtifacts stores the result under the entry's sanitized
+// artifact path (matrix cells: one subdirectory per matrix entry,
+// one JSON/CSV pair per cell).
 func writeArtifacts(dir, name string, cres *campaign.Result) error {
 	data, err := json.MarshalIndent(cres, "", "  ")
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(filepath.Join(dir, name+".json"), append(data, '\n'), 0o644); err != nil {
+	jsonPath := filepath.Join(dir, name+".json")
+	if err := os.MkdirAll(filepath.Dir(jsonPath), 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
 	csvFile, err := os.Create(filepath.Join(dir, name+".csv"))

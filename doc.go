@@ -62,18 +62,38 @@
 // examples/campaign/) whose entries can carry early-stop rules,
 // checkpoint paths and tolerance bands on counter fractions.
 //
+// Spec entries can also carry a "matrix" field mapping parameter
+// names to value lists: the entry expands into the full cross-product
+// of cells (auto-suffixed names, shared defaults, the entry's
+// expectation bands applied to every cell), so one entry expresses an
+// RS(n,k) x interleaving-depth x scrub-interval study whose results
+// cmd/campaign renders as a grid table with per-cell CSV artifacts.
+// Two Monte Carlo scenario kinds give the matrix its sweep axes
+// beyond memsim: "interleave" (internal/pagesim) drives an
+// interleave.Page through mixed Poisson SEUs, full-length MBU bursts
+// and stuck-at columns under a scrub discipline, empirically
+// validating the CorrectableBurst guarantee (single-burst trials
+// within the guarantee must never lose a page); "array"
+// (array.SimConfig) simulates the word-level system with rates
+// matched to the analytic chain and cross-validates array.Evaluate's
+// memory-level AnyWordFail against the Monte Carlo's Wilson band,
+// failing the campaign on disagreement.
+//
 // # Continuous integration gates
 //
 // The ci workflow builds and tests on the current and previous Go
 // release, race-gates the worker-pool engine (go test -race ./...),
 // enforces gofmt/go vet, smoke-runs every binary's error paths
-// (non-zero exits) and a multi-scenario campaign spec, and gates
-// benchmark regressions: the codec microbenchmarks and root solver
-// benchmarks run at -benchtime 100x -count=5 and cmd/benchdiff
+// (non-zero exits), a multi-scenario campaign spec and the matrix
+// sweep spec (12 interleave cells plus the whole-memory analytic
+// cross-check), and gates benchmark regressions: the codec
+// microbenchmarks, the interleaved-page codec benchmarks and root
+// solver benchmarks run at -benchtime 100x -count=5 and cmd/benchdiff
 // compares them against the committed BENCH_baseline.json, failing on
 // any allocation increase or a >25% latency regression (min-of-5
 // ns/op, so one-sided scheduler noise cannot fake a pass or a fail).
-// The nightly workflow reruns the accelerated SSMM mission (10k
-// deterministic trials) and fails if the measured uncorrectable-word
-// probability leaves the tolerance band in examples/campaign/nightly.json.
+// The nightly workflow reruns the accelerated SSMM mission and the
+// interleaved-page mission (10k deterministic trials each) and fails
+// if any measured probability leaves its tolerance band in
+// examples/campaign/nightly.json.
 package repro

@@ -1,0 +1,265 @@
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/campaign"
+	"repro/internal/memsim"
+	"repro/internal/pagesim"
+)
+
+// maxMatrixCells bounds one entry's expansion so a typo'd value list
+// fails loudly instead of launching thousands of campaigns.
+const maxMatrixCells = 1024
+
+// MatrixAssignment is one parameter binding of an expanded cell, in
+// the cell's suffix order.
+type MatrixAssignment struct {
+	Key   string
+	Value string // compact JSON rendering (strings unquoted)
+}
+
+// Expand replaces every entry that carries a matrix with the full
+// cross-product of its cells: each cell copies the entry (kind, stop
+// rule, expectation bands — the per-cell templating), overrides the
+// swept parameters in params, and takes the auto-suffixed name
+// <name>/k1=v1,k2=v2 with keys in sorted order. Entry order is
+// preserved; cells appear in odometer order (first key slowest).
+// Expand is idempotent and called by Parse before validation, so
+// loaded files are always flat; programmatic File construction should
+// call it before BuildAll when using matrices.
+func (f *File) Expand() error {
+	var out []Entry
+	for _, e := range f.Scenarios {
+		if len(e.Matrix) == 0 {
+			out = append(out, e)
+			continue
+		}
+		cells, err := expandEntry(e)
+		if err != nil {
+			return err
+		}
+		out = append(out, cells...)
+	}
+	f.Scenarios = out
+	return nil
+}
+
+// expandEntry builds the cross-product cells of one matrix entry.
+func expandEntry(e Entry) ([]Entry, error) {
+	if e.Name == "" {
+		return nil, fmt.Errorf("spec: matrix entry has no name")
+	}
+	keys := make([]string, 0, len(e.Matrix))
+	total := 1
+	for k, vals := range e.Matrix {
+		if k == "" {
+			return nil, fmt.Errorf("spec: matrix entry %q has an empty parameter name", e.Name)
+		}
+		if len(vals) == 0 {
+			return nil, fmt.Errorf("spec: matrix entry %q sweeps %q over no values", e.Name, k)
+		}
+		keys = append(keys, k)
+		if total *= len(vals); total > maxMatrixCells {
+			return nil, fmt.Errorf("spec: matrix entry %q expands to more than %d scenarios", e.Name, maxMatrixCells)
+		}
+	}
+	sort.Strings(keys)
+
+	base, err := paramsMap(e)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range keys {
+		if _, dup := base[k]; dup {
+			return nil, fmt.Errorf("spec: matrix entry %q sweeps %q, which params also sets", e.Name, k)
+		}
+	}
+
+	cells := make([]Entry, 0, total)
+	sanitized := make(map[string]string, total)
+	idx := make([]int, len(keys))
+	for {
+		cell := e
+		cell.Matrix = nil
+		cell.MatrixOrigin = e.Name
+		cell.MatrixParams = make([]MatrixAssignment, len(keys))
+		var suffix strings.Builder
+		for i, k := range keys {
+			v := e.Matrix[k][idx[i]]
+			base[k] = v
+			rendered := renderValue(v)
+			cell.MatrixParams[i] = MatrixAssignment{Key: k, Value: rendered}
+			if i > 0 {
+				suffix.WriteByte(',')
+			}
+			fmt.Fprintf(&suffix, "%s=%s", k, rendered)
+		}
+		cell.Name = e.Name + "/" + suffix.String()
+		if cell.Params, err = json.Marshal(base); err != nil {
+			return nil, fmt.Errorf("spec: matrix entry %q: %w", e.Name, err)
+		}
+		// Checkpoint suffixes and artifact paths use the sanitized
+		// suffix, so two cells that collapse onto the same sanitized
+		// form would silently share files; reject the sweep instead.
+		clean := sanitizeCell(suffix.String())
+		if prev, dup := sanitized[clean]; dup {
+			return nil, fmt.Errorf("spec: matrix entry %q cells %q and %q collide after filename sanitization (%q)",
+				e.Name, prev, suffix.String(), clean)
+		}
+		sanitized[clean] = suffix.String()
+		if e.Checkpoint != "" {
+			// Each cell is its own campaign; a shared checkpoint file
+			// would be rejected by every cell but the first.
+			cell.Checkpoint = e.Checkpoint + "." + clean
+		}
+		cells = append(cells, cell)
+
+		// Odometer: last key fastest.
+		i := len(keys) - 1
+		for ; i >= 0; i-- {
+			if idx[i]++; idx[i] < len(e.Matrix[keys[i]]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return cells, nil
+		}
+	}
+}
+
+// paramsMap decodes an entry's raw params object into a key-indexed
+// map (strictly: params must be a JSON object).
+func paramsMap(e Entry) (map[string]json.RawMessage, error) {
+	m := make(map[string]json.RawMessage)
+	raw := e.Params
+	if len(raw) == 0 {
+		return m, nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("spec: matrix entry %q params: %w", e.Name, err)
+	}
+	if m == nil { // "params": null decodes the map itself to nil
+		m = make(map[string]json.RawMessage)
+	}
+	return m, nil
+}
+
+// renderValue formats a swept JSON value for names and tables:
+// compact, with string quotes stripped ("1h" reads as 1h).
+func renderValue(v json.RawMessage) string {
+	var s string
+	if err := json.Unmarshal(v, &s); err == nil {
+		return s
+	}
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, v); err != nil {
+		return string(v)
+	}
+	return buf.String()
+}
+
+// sanitizeCell makes a cell suffix safe as a single filename
+// component: path separators and drive markers are replaced, and
+// names that would alias the current or parent directory are renamed.
+func sanitizeCell(s string) string {
+	s = strings.Map(func(r rune) rune {
+		switch r {
+		case '/', '\\', ':':
+			return '-'
+		}
+		return r
+	}, s)
+	switch s {
+	case "", ".", "..":
+		return "_"
+	}
+	return s
+}
+
+// ArtifactPath returns the slash-separated relative path under which
+// the entry's result artifacts should be written: matrix cells land
+// in one subdirectory per matrix entry (origin/suffix), plain entries
+// in a single file component. Every component is sanitized, so swept
+// string values cannot nest further or escape the output directory.
+func (e Entry) ArtifactPath() string {
+	if e.MatrixOrigin != "" {
+		suffix := strings.TrimPrefix(e.Name, e.MatrixOrigin+"/")
+		return sanitizeCell(e.MatrixOrigin) + "/" + sanitizeCell(suffix)
+	}
+	return sanitizeCell(e.Name)
+}
+
+// GridCell pairs an expanded cell with its campaign result for grid
+// rendering.
+type GridCell struct {
+	Built  *Built
+	Result *campaign.Result
+}
+
+// headlineCounters picks the fraction columns of a grid: the kind's
+// natural failure counter first (the sweep surface being traded off),
+// then any expectation counters the entry gates on.
+func headlineCounters(e Entry) []string {
+	var out []string
+	seen := map[string]bool{}
+	add := func(name string) {
+		if name != "" && !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	switch e.Kind {
+	case "memsim", "array":
+		add(memsim.CounterCapabilityExceeded)
+	case "interleave":
+		add(pagesim.CounterPageLoss)
+	}
+	for _, ex := range e.Expect {
+		add(ex.Counter)
+	}
+	return out
+}
+
+// RenderGrid writes one matrix group as a table: one row per cell,
+// one column per swept parameter, plus trials and the headline
+// counter fractions. Cells must share an origin (one matrix entry).
+func RenderGrid(w io.Writer, cells []GridCell) error {
+	if len(cells) == 0 {
+		return fmt.Errorf("spec: empty grid")
+	}
+	first := cells[0].Built.Entry
+	counters := headlineCounters(first)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "=== matrix %s (%s, %d cells) ===\n", first.MatrixOrigin, first.Kind, len(cells))
+	header := make([]string, 0, len(first.MatrixParams)+1+len(counters))
+	for _, a := range first.MatrixParams {
+		header = append(header, a.Key)
+	}
+	header = append(header, "trials")
+	header = append(header, counters...)
+	fmt.Fprintln(tw, strings.Join(header, "\t"))
+	for _, c := range cells {
+		if c.Built.Entry.MatrixOrigin != first.MatrixOrigin {
+			return fmt.Errorf("spec: grid mixes origins %q and %q", first.MatrixOrigin, c.Built.Entry.MatrixOrigin)
+		}
+		row := make([]string, 0, len(header))
+		for _, a := range c.Built.Entry.MatrixParams {
+			row = append(row, a.Value)
+		}
+		row = append(row, fmt.Sprintf("%d", c.Result.Trials))
+		for _, name := range counters {
+			row = append(row, fmt.Sprintf("%.4e", c.Result.Fraction(name)))
+		}
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	return tw.Flush()
+}

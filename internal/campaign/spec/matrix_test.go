@@ -1,0 +1,426 @@
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+)
+
+const matrixDoc = `{
+  "seed": 21,
+  "scenarios": [{
+    "name": "page-sweep",
+    "kind": "interleave",
+    "params": {"burst_per_kilobit_hour": 0.5, "burst_bits": 9,
+               "horizon_hours": 24, "trials": 300},
+    "matrix": {"n": [18, 20], "depth": [2, 4],
+               "scrub_period_hours": [1, 4, 12]},
+    "expect": [{"counter": "single_burst_losses", "max_fraction": 0}]
+  }]
+}`
+
+func TestMatrixExpansion(t *testing.T) {
+	f, err := Parse([]byte(matrixDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Scenarios) != 12 {
+		t.Fatalf("expanded to %d cells, want 12", len(f.Scenarios))
+	}
+	// Cells are in odometer order over sorted keys (depth, n,
+	// scrub_period_hours), first key slowest.
+	wantFirst := "page-sweep/depth=2,n=18,scrub_period_hours=1"
+	wantLast := "page-sweep/depth=4,n=20,scrub_period_hours=12"
+	if got := f.Scenarios[0].Name; got != wantFirst {
+		t.Errorf("first cell %q, want %q", got, wantFirst)
+	}
+	if got := f.Scenarios[11].Name; got != wantLast {
+		t.Errorf("last cell %q, want %q", got, wantLast)
+	}
+	for _, e := range f.Scenarios {
+		if e.Matrix != nil {
+			t.Fatalf("cell %q still carries a matrix", e.Name)
+		}
+		if e.MatrixOrigin != "page-sweep" {
+			t.Errorf("cell %q origin %q", e.Name, e.MatrixOrigin)
+		}
+		if len(e.MatrixParams) != 3 {
+			t.Errorf("cell %q has %d assignments", e.Name, len(e.MatrixParams))
+		}
+		if len(e.Expect) != 1 || e.Expect[0].Counter != "single_burst_losses" {
+			t.Errorf("cell %q did not inherit the expectation template", e.Name)
+		}
+		// Shared defaults from params must survive the merge.
+		var p InterleaveParams
+		if err := decodeParams(e, &p); err != nil {
+			t.Fatalf("cell %q params: %v", e.Name, err)
+		}
+		if p.BurstBits != 9 || p.Horizon != 24 || p.Trials != 300 {
+			t.Errorf("cell %q lost shared defaults: %+v", e.Name, p)
+		}
+		if p.N != 18 && p.N != 20 {
+			t.Errorf("cell %q swept n = %d", e.Name, p.N)
+		}
+	}
+}
+
+func TestMatrixCellsAreDistinctScenarios(t *testing.T) {
+	f, err := Parse([]byte(matrixDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := f.BuildAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, b := range built {
+		if names[b.Scenario.Name()] {
+			t.Errorf("duplicate engine scenario name %q", b.Scenario.Name())
+		}
+		names[b.Scenario.Name()] = true
+	}
+}
+
+func TestMatrixValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"empty value list", `{"scenarios":[{"name":"a","kind":"interleave",
+			"matrix":{"depth":[]}}]}`},
+		{"key collides with params", `{"scenarios":[{"name":"a","kind":"interleave",
+			"params":{"depth":2},"matrix":{"depth":[1,2]}}]}`},
+		{"params not an object", `{"scenarios":[{"name":"a","kind":"interleave",
+			"params":[1],"matrix":{"depth":[1]}}]}`},
+		{"unnamed matrix", `{"scenarios":[{"kind":"interleave","matrix":{"depth":[1]}}]}`},
+		{"cells collide across entries", `{"scenarios":[
+			{"name":"a/depth=1","kind":"memsim","params":{"trials":1,"horizon_hours":1}},
+			{"name":"a","kind":"interleave","matrix":{"depth":[1]},
+			 "params":{"trials":1,"horizon_hours":1}}]}`},
+		{"cells collide after sanitization", `{"scenarios":[
+			{"name":"a","kind":"interleave","matrix":{"label":["x/y","x-y"]},
+			 "params":{"trials":1,"horizon_hours":1}}]}`},
+		{"entries collide on artifact path", `{"scenarios":[
+			{"name":"a/b","kind":"memsim","params":{"trials":1,"horizon_hours":1}},
+			{"name":"a-b","kind":"memsim","params":{"trials":1,"horizon_hours":1}}]}`},
+	}
+	for _, c := range cases {
+		if _, err := Parse([]byte(c.doc)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+
+	// A runaway matrix must be rejected before it becomes 4^6 campaigns.
+	vals := `[1,2,3,4]`
+	doc := fmt.Sprintf(`{"scenarios":[{"name":"a","kind":"interleave",
+		"matrix":{"a":%s,"b":%s,"c":%s,"d":%s,"e":%s,"f":%s}}]}`,
+		vals, vals, vals, vals, vals, vals)
+	if _, err := Parse([]byte(doc)); err == nil || !strings.Contains(err.Error(), "expands to more than") {
+		t.Errorf("runaway matrix: got %v", err)
+	}
+}
+
+// TestMatrixNullParams: "params": null must expand like absent
+// params, not panic on a nil map.
+func TestMatrixNullParams(t *testing.T) {
+	doc := `{"scenarios":[{
+	  "name": "sweep", "kind": "interleave", "params": null,
+	  "matrix": {"trials": [10], "horizon_hours": [1]}
+	}]}`
+	f, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Scenarios) != 1 {
+		t.Fatalf("expanded to %d cells, want 1", len(f.Scenarios))
+	}
+	if _, err := f.BuildAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixCheckpointsPerCell(t *testing.T) {
+	doc := `{"scenarios":[{
+	  "name": "sweep", "kind": "interleave", "checkpoint": "cp.json",
+	  "params": {"trials": 10, "horizon_hours": 1},
+	  "matrix": {"depth": [1, 2]}
+	}]}`
+	f, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cps := map[string]bool{}
+	for _, e := range f.Scenarios {
+		if e.Checkpoint == "" || cps[e.Checkpoint] {
+			t.Errorf("cell %q checkpoint %q not unique", e.Name, e.Checkpoint)
+		}
+		cps[e.Checkpoint] = true
+	}
+}
+
+// TestMatrixGridDeterministicAcrossWorkerCounts is the acceptance
+// gate: one matrix entry expands to 12 scenarios over RS(n,k) x
+// interleaving depth x scrub interval, and every cell's campaign
+// result is bit-identical for any worker count.
+func TestMatrixGridDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) []*campaign.Result {
+		f, err := Parse([]byte(matrixDoc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Workers = workers
+		built, err := f.BuildAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(built) != 12 {
+			t.Fatalf("built %d scenarios, want 12", len(built))
+		}
+		var out []*campaign.Result
+		for _, b := range built {
+			cres, err := campaign.Run(b.Scenario, b.EngineConfig(f))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if errs := b.CheckExpectations(cres); len(errs) != 0 {
+				t.Errorf("%s: %v", b.Entry.Name, errs)
+			}
+			out = append(out, cres)
+		}
+		return out
+	}
+	one, eight := run(1), run(8)
+	for i := range one {
+		if !reflect.DeepEqual(one[i], eight[i]) {
+			t.Errorf("cell %d differs between 1 and 8 workers:\n%+v\nvs\n%+v", i, one[i], eight[i])
+		}
+	}
+}
+
+func TestRenderGrid(t *testing.T) {
+	f, err := Parse([]byte(matrixDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := f.BuildAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cells []GridCell
+	for _, b := range built {
+		cres, err := campaign.Run(b.Scenario, b.EngineConfig(f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells = append(cells, GridCell{Built: b, Result: cres})
+	}
+	var buf bytes.Buffer
+	if err := RenderGrid(&buf, cells); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"matrix page-sweep", "depth", "scrub_period_hours", "trials", "single_burst_losses", "12 cells"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("grid missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "\n") < 13 { // header + 12 rows
+		t.Errorf("grid too short:\n%s", out)
+	}
+
+	if err := RenderGrid(&buf, nil); err == nil {
+		t.Error("empty grid accepted")
+	}
+	mixed := []GridCell{cells[0], {Built: &Built{Entry: Entry{MatrixOrigin: "other"}}, Result: cells[1].Result}}
+	if err := RenderGrid(&buf, mixed); err == nil {
+		t.Error("mixed-origin grid accepted")
+	}
+}
+
+func TestRenderValue(t *testing.T) {
+	cases := map[string]string{
+		`18`:     "18",
+		`4.5`:    "4.5",
+		`"1h"`:   "1h",
+		`true`:   "true",
+		`[1, 2]`: "[1,2]",
+	}
+	for in, want := range cases {
+		if got := renderValue(json.RawMessage(in)); got != want {
+			t.Errorf("renderValue(%s) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestInterleaveKindRoundTrip(t *testing.T) {
+	doc := `{
+	  "seed": 5,
+	  "scenarios": [{
+	    "name": "page",
+	    "kind": "interleave",
+	    "params": {"depth": 4, "lambda_bit_per_hour": 2e-5,
+	               "burst_per_kilobit_hour": 0.02, "burst_bits": 12,
+	               "lambda_column_per_hour": 5e-5, "scrub_period_hours": 8,
+	               "horizon_hours": 48, "trials": 500},
+	    "expect": [{"counter": "page_correct", "min_fraction": 0.5}]
+	  }]
+	}`
+	f, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := f.BuildAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := built[0]
+	if b.Scenario.Trials() != 500 {
+		t.Errorf("trials = %d", b.Scenario.Trials())
+	}
+	if !strings.Contains(b.Scenario.Name(), "seed=5") {
+		t.Errorf("file-level seed not inherited: %s", b.Scenario.Name())
+	}
+	cres, err := campaign.Run(b.Scenario, b.EngineConfig(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := b.CheckExpectations(cres); len(errs) != 0 {
+		t.Errorf("expectations failed: %v", errs)
+	}
+	var buf bytes.Buffer
+	if err := b.Render(&buf, cres); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"RS(18,16)/m=8 x depth 4", "loss fraction", "faults injected", "scrubs"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("render missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestArrayKindRoundTrip(t *testing.T) {
+	doc := `{
+	  "seed": 11,
+	  "scenarios": [{
+	    "name": "whole-memory",
+	    "kind": "array",
+	    "params": {"data_bytes": 1048576,
+	               "seu_per_bit_day": 1.44e-2, "perm_per_symbol_day": 4.8e-3,
+	               "hours": 48, "trials": 2000}
+	  }]
+	}`
+	f, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := f.BuildAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := built[0]
+	if len(b.checks) != 1 {
+		t.Fatalf("array kind registered %d checks, want 1 (analytic cross-validation)", len(b.checks))
+	}
+	cres, err := campaign.Run(b.Scenario, b.EngineConfig(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := b.CheckExpectations(cres); len(errs) != 0 {
+		t.Errorf("analytic cross-validation failed: %v", errs)
+	}
+	var buf bytes.Buffer
+	if err := b.Render(&buf, cres); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"65536 words", "word fail", "any-word fail", "agrees"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("render missing %q:\n%s", want, buf.String())
+		}
+	}
+
+	// validate_analytic: false must drop the check.
+	doc2 := strings.Replace(doc, `"trials": 2000}`, `"trials": 2000, "validate_analytic": false}`, 1)
+	f2, err := Parse([]byte(doc2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	built2, err := f2.BuildAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(built2[0].checks) != 0 {
+		t.Errorf("validate_analytic=false still registered %d checks", len(built2[0].checks))
+	}
+}
+
+// TestArrayKindScrubbedDuplexDefaultsCheckOff: the scrubbed-duplex
+// regime carries a documented chain-vs-simulator model gap, so the
+// analytic gate must default off there (and explicit
+// validate_analytic: true must opt back in).
+func TestArrayKindScrubbedDuplexDefaultsCheckOff(t *testing.T) {
+	build := func(params string) *Built {
+		t.Helper()
+		doc := fmt.Sprintf(`{"scenarios":[{"name":"a","kind":"array","params":%s}]}`, params)
+		f, err := Parse([]byte(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		built, err := f.BuildAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return built[0]
+	}
+	off := build(`{"arrangement":"duplex","scrub_seconds":3600,"hours":48,"trials":100}`)
+	if len(off.checks) != 0 {
+		t.Errorf("scrubbed duplex registered %d checks by default, want 0", len(off.checks))
+	}
+	on := build(`{"arrangement":"duplex","scrub_seconds":3600,"hours":48,"trials":100,"validate_analytic":true}`)
+	if len(on.checks) != 1 {
+		t.Errorf("explicit validate_analytic=true registered %d checks, want 1", len(on.checks))
+	}
+	unscrubbed := build(`{"arrangement":"duplex","hours":48,"trials":100}`)
+	if len(unscrubbed.checks) != 1 {
+		t.Errorf("unscrubbed duplex registered %d checks by default, want 1", len(unscrubbed.checks))
+	}
+}
+
+// TestArtifactPathSanitized: swept string values must not nest or
+// escape the artifact directory.
+func TestArtifactPathSanitized(t *testing.T) {
+	doc := `{"scenarios":[{
+	  "name": "page", "kind": "interleave",
+	  "params": {"trials": 10, "horizon_hours": 1},
+	  "matrix": {"depth": [1], "label": ["../../../../tmp/x"]}
+	}]}`
+	// "label" is not a pagesim param, so building would fail — but
+	// expansion and artifact-path construction are what we test.
+	var f File
+	if err := json.Unmarshal([]byte(doc), &f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Expand(); err != nil {
+		t.Fatal(err)
+	}
+	safe := func(path string, wantSlashes int) {
+		t.Helper()
+		if strings.Count(path, "/") != wantSlashes {
+			t.Errorf("artifact path %q fragments the layout (want %d separators)", path, wantSlashes)
+		}
+		for _, comp := range strings.Split(path, "/") {
+			switch comp {
+			case "", ".", "..":
+				t.Errorf("artifact path %q has traversal component %q", path, comp)
+			}
+		}
+	}
+	safe(f.Scenarios[0].ArtifactPath(), 1)
+	safe(Entry{Name: "../evil"}.ArtifactPath(), 0)
+	safe(Entry{Name: ".."}.ArtifactPath(), 0)
+}

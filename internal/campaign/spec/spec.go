@@ -1,10 +1,12 @@
 // Package spec runs declarative multi-scenario campaign files: a JSON
 // document names a list of scenarios — Monte Carlo fault injection
-// (memsim), multi-bit-upset comparisons (mbusim), analytic BER curves
-// and design-space sweeps, or whole registry experiments — and the
-// package builds each one into a campaign.Scenario for the shared
-// engine. Adding a new workload to a study means adding an entry to a
-// spec file, not writing a new binary.
+// (memsim), multi-bit-upset comparisons (mbusim), page-level
+// interleaving simulations (interleave), whole-memory cross-validation
+// (array), analytic BER curves and design-space sweeps, or whole
+// registry experiments — and the package builds each one into a
+// campaign.Scenario for the shared engine. Adding a new workload to a
+// study means adding an entry to a spec file, not writing a new
+// binary.
 //
 // Schema (see examples/campaign/ for runnable files):
 //
@@ -27,15 +29,37 @@
 //	                 "trials": 10000},
 //	      "expect": [{"counter": "capability_exceeded",
 //	                  "min_fraction": 0.05, "max_fraction": 0.09}]
+//	    },
+//	    {
+//	      "name": "page-sweep",
+//	      "kind": "interleave",
+//	      "params": {"burst_per_kilobit_hour": 0.5, "burst_bits": 9,
+//	                 "horizon_hours": 48, "trials": 4000},
+//	      "matrix": {"n": [18, 20], "depth": [2, 4],
+//	                 "scrub_period_hours": [1, 4, 12]},
+//	      "expect": [{"counter": "single_burst_losses", "max_fraction": 0}]
 //	    }
 //	  ]
 //	}
 //
-// Kinds: "memsim", "mbusim", "bercurve", "tradeoff", "experiments".
-// Each entry may carry a checkpoint path, an early-stop rule and
-// expectations — tolerance bands on counter fractions that turn a
+// Kinds: "memsim", "mbusim", "bercurve", "tradeoff", "experiments",
+// "interleave" (page-level Monte Carlo over internal/pagesim) and
+// "array" (whole-memory Monte Carlo cross-validating the analytic
+// internal/array lift; it fails the run when the analytic curve
+// leaves the Monte Carlo's Wilson band unless validate_analytic is
+// false). Each entry may carry a checkpoint path, an early-stop rule
+// and expectations — tolerance bands on counter fractions that turn a
 // campaign into a pass/fail gate (the nightly CI workflow uses this
 // to detect probability drift).
+//
+// An entry with a "matrix" field is a sweep template: File.Expand
+// (run automatically by Parse and BuildAll) replaces it with the full
+// cross-product of cells — one scenario per parameter combination,
+// named <name>/k1=v1,k2=v2,... with keys sorted — each inheriting the
+// entry's remaining params, stop rule and expectation bands, so one
+// twelve-line entry expresses an RS(n,k) x interleaving-depth x
+// scrub-interval grid. RenderGrid formats a matrix group's results as
+// one table.
 package spec
 
 import (
@@ -48,11 +72,14 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"repro/internal/array"
 	"repro/internal/campaign"
+	"repro/internal/core"
 	"repro/internal/expdata"
 	"repro/internal/gf"
 	"repro/internal/mbusim"
 	"repro/internal/memsim"
+	"repro/internal/pagesim"
 	"repro/internal/rs"
 	"repro/internal/textplot"
 )
@@ -68,7 +95,8 @@ type File struct {
 	Scenarios []Entry `json:"scenarios"`
 }
 
-// Entry is one scenario of a spec file.
+// Entry is one scenario of a spec file — or, when Matrix is set, a
+// template for a whole grid of them.
 type Entry struct {
 	Name       string          `json:"name"`
 	Kind       string          `json:"kind"`
@@ -76,6 +104,18 @@ type Entry struct {
 	Checkpoint string          `json:"checkpoint,omitempty"`
 	Stop       *Stop           `json:"stop,omitempty"`
 	Expect     []Expectation   `json:"expect,omitempty"`
+
+	// Matrix maps parameter names to value lists; File.Expand replaces
+	// the entry with the cross-product of cells (auto-suffixed names,
+	// shared defaults from Params, the entry's Stop and Expect applied
+	// to every cell). A matrix key must not also appear in Params.
+	Matrix map[string][]json.RawMessage `json:"matrix,omitempty"`
+
+	// MatrixOrigin ("" for plain entries) names the matrix entry this
+	// cell was expanded from; MatrixParams holds the cell's sweep
+	// assignments in suffix order. Both are set by Expand, not parsed.
+	MatrixOrigin string             `json:"-"`
+	MatrixParams []MatrixAssignment `json:"-"`
 }
 
 // Stop mirrors campaign.EarlyStop in spec syntax.
@@ -126,6 +166,9 @@ func Parse(data []byte) (*File, error) {
 	if err := dec.Decode(&f); err != nil {
 		return nil, fmt.Errorf("spec: parse: %w", err)
 	}
+	if err := f.Expand(); err != nil {
+		return nil, err
+	}
 	if err := f.Validate(); err != nil {
 		return nil, err
 	}
@@ -138,6 +181,7 @@ func (f *File) Validate() error {
 		return fmt.Errorf("spec: no scenarios")
 	}
 	seen := make(map[string]bool)
+	seenPath := make(map[string]string)
 	for i, e := range f.Scenarios {
 		if e.Name == "" {
 			return fmt.Errorf("spec: scenario %d has no name", i)
@@ -146,8 +190,16 @@ func (f *File) Validate() error {
 			return fmt.Errorf("spec: duplicate scenario name %q", e.Name)
 		}
 		seen[e.Name] = true
+		// Distinct names can still sanitize onto the same artifact
+		// path ("a/b" vs "a-b"); reject the spec so -out never
+		// silently overwrites one scenario's results with another's.
+		path := e.ArtifactPath()
+		if prev, dup := seenPath[path]; dup {
+			return fmt.Errorf("spec: scenarios %q and %q collide on artifact path %q", prev, e.Name, path)
+		}
+		seenPath[path] = e.Name
 		switch e.Kind {
-		case "memsim", "mbusim", "bercurve", "tradeoff", "experiments":
+		case "memsim", "mbusim", "bercurve", "tradeoff", "experiments", "interleave", "array":
 		default:
 			return fmt.Errorf("spec: scenario %q has unknown kind %q", e.Name, e.Kind)
 		}
@@ -176,6 +228,9 @@ type Built struct {
 	// not set one: analytic kinds have few, heavyweight trials and
 	// shard one per trial so they actually parallelize.
 	shardSize int
+	// checks are kind-supplied gates evaluated alongside the entry's
+	// expectation bands (the "array" kind's analytic cross-validation).
+	checks []func(cres *campaign.Result) error
 }
 
 // EngineConfig assembles the engine configuration for this entry
@@ -200,11 +255,18 @@ func (b *Built) EngineConfig(f *File) campaign.Config {
 	return cfg
 }
 
-// CheckExpectations evaluates every tolerance band of the entry.
+// CheckExpectations evaluates every tolerance band of the entry plus
+// any kind-supplied checks (e.g. the "array" kind's analytic
+// cross-validation).
 func (b *Built) CheckExpectations(cres *campaign.Result) []error {
 	var errs []error
 	for _, ex := range b.Entry.Expect {
 		if err := ex.Check(cres); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", b.Entry.Name, err))
+		}
+	}
+	for _, check := range b.checks {
+		if err := check(cres); err != nil {
 			errs = append(errs, fmt.Errorf("%s: %w", b.Entry.Name, err))
 		}
 	}
@@ -290,6 +352,111 @@ type ExperimentsParams struct {
 	IDs []string `json:"ids,omitempty"`
 }
 
+// InterleaveParams is the "interleave" kind: the page-level Monte
+// Carlo of internal/pagesim — depth RS codewords striped across a
+// stored page under mixed Poisson SEUs, MBU bursts and stuck-at
+// columns, with an optional scrub discipline. Rates are per hour.
+type InterleaveParams struct {
+	N               int     `json:"n"`
+	K               int     `json:"k"`
+	M               int     `json:"m"`
+	Depth           int     `json:"depth"`
+	LambdaBit       float64 `json:"lambda_bit_per_hour"`
+	BurstPerKilobit float64 `json:"burst_per_kilobit_hour"`
+	BurstBits       int     `json:"burst_bits"`
+	LambdaColumn    float64 `json:"lambda_column_per_hour"`
+	ScrubHours      float64 `json:"scrub_period_hours"`
+	ExpScrub        bool    `json:"exponential_scrub"`
+	Horizon         float64 `json:"horizon_hours"`
+	Trials          int     `json:"trials"`
+	Seed            *int64  `json:"seed,omitempty"`
+}
+
+// PagesimConfig converts the params into a simulator configuration
+// with depth defaulting to 1 (zero N/K/M fall back to the paper's
+// RS(18,16)/m=8 inside pagesim.Config.NewPage, the single authority
+// for the code default).
+func (p InterleaveParams) PagesimConfig(defaultSeed int64) pagesim.Config {
+	if p.Depth == 0 {
+		p.Depth = 1
+	}
+	seed := defaultSeed
+	if p.Seed != nil {
+		seed = *p.Seed
+	}
+	return pagesim.Config{
+		N:                p.N,
+		K:                p.K,
+		M:                p.M,
+		Depth:            p.Depth,
+		LambdaBit:        p.LambdaBit,
+		BurstPerKilobit:  p.BurstPerKilobit,
+		BurstBits:        p.BurstBits,
+		LambdaColumn:     p.LambdaColumn,
+		ScrubPeriod:      p.ScrubHours,
+		ExponentialScrub: p.ExpScrub,
+		Horizon:          p.Horizon,
+		Trials:           p.Trials,
+		Seed:             seed,
+	}
+}
+
+// ArrayParams is the "array" kind: the whole-memory Monte Carlo of
+// internal/array — W words simulated at the word level with rates
+// matched to the analytic chain, lifted to memory-level loss
+// probability. Units follow the analytic API (per-day rates, scrub
+// seconds), so an "array" entry reads like a bercurve entry plus a
+// capacity. By default the campaign fails when the analytic
+// AnyWordFail leaves the Monte Carlo's 95% Wilson band; the check
+// defaults off for scrubbed duplex (a documented ~1% model gap, see
+// array.SimConfig) and validate_analytic overrides either default.
+type ArrayParams struct {
+	DataBytes        int64   `json:"data_bytes"`
+	Arrangement      string  `json:"arrangement"` // "simplex" (default) or "duplex"
+	N                int     `json:"n"`
+	K                int     `json:"k"`
+	M                int     `json:"m"`
+	SEUPerBit        float64 `json:"seu_per_bit_day"`
+	PermPerSym       float64 `json:"perm_per_symbol_day"`
+	ScrubSec         float64 `json:"scrub_seconds"`
+	Hours            float64 `json:"hours"`
+	Trials           int     `json:"trials"`
+	Seed             *int64  `json:"seed,omitempty"`
+	ValidateAnalytic *bool   `json:"validate_analytic,omitempty"`
+}
+
+// SimConfig converts the params (with defaults: the paper's code and
+// a 1 MiB capacity) into the cross-validation configuration.
+func (p ArrayParams) SimConfig(defaultSeed int64) (array.SimConfig, error) {
+	arr, err := parseArrangement(p.Arrangement)
+	if err != nil {
+		return array.SimConfig{}, err
+	}
+	applyCodeDefaults(&p.N, &p.K, &p.M)
+	if p.DataBytes == 0 {
+		p.DataBytes = 1 << 20
+	}
+	seed := defaultSeed
+	if p.Seed != nil {
+		seed = *p.Seed
+	}
+	return array.SimConfig{
+		Memory: array.Memory{
+			DataBytes: p.DataBytes,
+			Word: core.Config{
+				Arrangement:         arr,
+				Code:                core.CodeSpec{N: p.N, K: p.K, M: p.M},
+				SEUPerBitDay:        p.SEUPerBit,
+				ErasurePerSymbolDay: p.PermPerSym,
+				ScrubPeriodSeconds:  p.ScrubSec,
+			},
+		},
+		Hours:  p.Hours,
+		Trials: p.Trials,
+		Seed:   seed,
+	}, nil
+}
+
 // Build compiles one entry under the file defaults.
 func Build(e Entry, f *File) (*Built, error) {
 	switch e.Kind {
@@ -363,6 +530,80 @@ func Build(e Entry, f *File) (*Built, error) {
 			return RenderTradeoff(w, scn, cres)
 		}}, nil
 
+	case "interleave":
+		var p InterleaveParams
+		if err := decodeParams(e, &p); err != nil {
+			return nil, err
+		}
+		cfg := p.PagesimConfig(f.Seed)
+		scn, err := pagesim.Scenario(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("spec: scenario %q: %w", e.Name, err)
+		}
+		return &Built{Entry: e, Scenario: scn, Render: func(w io.Writer, cres *campaign.Result) error {
+			return renderInterleave(w, cfg, cres)
+		}}, nil
+
+	case "array":
+		var p ArrayParams
+		if err := decodeParams(e, &p); err != nil {
+			return nil, err
+		}
+		cfg, err := p.SimConfig(f.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("spec: scenario %q: %w", e.Name, err)
+		}
+		scn, err := cfg.Scenario()
+		if err != nil {
+			return nil, fmt.Errorf("spec: scenario %q: %w", e.Name, err)
+		}
+		// Render and the analytic gate both need the cross-validation;
+		// memoize it per result so the word-level chain is solved once
+		// (Built is used sequentially, so the memo needs no locking).
+		var (
+			memoFor *campaign.Result
+			memo    *array.CrossValidation
+		)
+		xval := func(cres *campaign.Result) (*array.CrossValidation, error) {
+			if cres == memoFor {
+				return memo, nil
+			}
+			v, err := cfg.CrossValidate(cres, 0)
+			if err != nil {
+				return nil, err
+			}
+			memoFor, memo = cres, v
+			return v, nil
+		}
+		b := &Built{Entry: e, Scenario: scn, Render: func(w io.Writer, cres *campaign.Result) error {
+			v, err := xval(cres)
+			if err != nil {
+				return err
+			}
+			return renderArray(w, cfg, v, cres)
+		}}
+		// Scrubbed duplex carries a documented ~1% chain-vs-simulator
+		// model gap (see array.SimConfig), so the analytic gate would
+		// fail a correct spec once enough trials shrink the Wilson
+		// band below it; default the check off there and let explicit
+		// validate_analytic: true opt back in.
+		word := cfg.Memory.Word
+		gapRegime := word.Arrangement == core.Duplex && word.ScrubPeriodSeconds > 0
+		validate := !gapRegime
+		if p.ValidateAnalytic != nil {
+			validate = *p.ValidateAnalytic
+		}
+		if validate {
+			b.checks = append(b.checks, func(cres *campaign.Result) error {
+				v, err := xval(cres)
+				if err != nil {
+					return err
+				}
+				return v.Check()
+			})
+		}
+		return b, nil
+
 	case "experiments":
 		var p ExperimentsParams
 		if err := decodeParams(e, &p); err != nil {
@@ -397,8 +638,12 @@ func Build(e Entry, f *File) (*Built, error) {
 	return nil, fmt.Errorf("spec: scenario %q has unknown kind %q", e.Name, e.Kind)
 }
 
-// BuildAll compiles every entry.
+// BuildAll compiles every entry, expanding any remaining matrix
+// entries first (a no-op for files from Parse, which are pre-expanded).
 func (f *File) BuildAll() ([]*Built, error) {
+	if err := f.Expand(); err != nil {
+		return nil, err
+	}
 	var out []*Built
 	for _, e := range f.Scenarios {
 		b, err := Build(e, f)
@@ -437,6 +682,70 @@ func renderMemsim(w io.Writer, cfg memsim.Config, cres *campaign.Result) error {
 	clo, chi := memsim.WilsonInterval(res.CapabilityExceeded, res.Trials, 1.96)
 	fmt.Fprintf(w, "cap. exceeded:   %.4e  (95%% CI [%.4e, %.4e])  paper-BER %.4e\n",
 		res.CapabilityExceededFraction(), clo, chi, res.PaperBER())
+	return nil
+}
+
+// renderInterleave summarizes a page-level burst/SEU/stuck-column
+// campaign.
+func renderInterleave(w io.Writer, cfg pagesim.Config, cres *campaign.Result) error {
+	page, err := cfg.NewPage()
+	if err != nil {
+		return err
+	}
+	res := pagesim.ResultFromCampaign(cfg, cres)
+	code := page.Code()
+	fmt.Fprintf(w, "page:            RS(%d,%d)/m=%d x depth %d (%d data symbols, correctable burst %d symbols)\n",
+		code.N(), code.K(), code.Field().M(), page.Depth(), page.DataSymbols(), page.CorrectableBurst())
+	fmt.Fprintf(w, "trials:          %d of %d requested over %g h", cres.Trials, cres.Requested, cfg.Horizon)
+	if cres.EarlyStopped {
+		fmt.Fprint(w, "  [early stop]")
+	}
+	if cres.ResumedTrials > 0 {
+		fmt.Fprintf(w, "  [%d resumed]", cres.ResumedTrials)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "faults injected: %d SEUs, %d bursts (%d bits each), %d stuck columns\n",
+		res.SEUs, res.Bursts, cfg.BurstBits, res.StuckColumns)
+	if res.ScrubOps > 0 {
+		fmt.Fprintf(w, "scrubs:          %d passes\n", res.ScrubOps)
+	}
+	fmt.Fprintf(w, "outcomes:        %d correct, %d lost (%d silent), %d symbols corrected, %d failed stripes\n",
+		res.PageCorrect, res.PageLoss, res.SilentLoss, res.CorrectedSymbols, res.FailedStripes)
+	lo, hi := campaign.Wilson(int64(res.PageLoss), int64(res.Trials), 1.96)
+	fmt.Fprintf(w, "loss fraction:   %.4e  (95%% CI [%.4e, %.4e])\n", res.LossFraction(), lo, hi)
+	if res.SingleBurstTrials > 0 {
+		fmt.Fprintf(w, "single-burst:    %d trials, %d losses (guarantee: %d-symbol bursts always correct)\n",
+			res.SingleBurstTrials, res.SingleBurstLosses, page.CorrectableBurst())
+	}
+	return nil
+}
+
+// renderArray summarizes the whole-memory cross-validation: analytic
+// vs Monte Carlo at the word and memory level.
+func renderArray(w io.Writer, cfg array.SimConfig, v *array.CrossValidation, cres *campaign.Result) error {
+	overhead, err := cfg.Memory.Overhead()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "memory:          %d bytes data = %d words of %v (%.3fx stored overhead)\n",
+		cfg.Memory.DataBytes, v.Words, cfg.Memory.Word.Code, overhead)
+	fmt.Fprintf(w, "trials:          %d of %d requested over %g h", cres.Trials, cres.Requested, cfg.Hours)
+	if cres.EarlyStopped {
+		fmt.Fprint(w, "  [early stop]")
+	}
+	if cres.ResumedTrials > 0 {
+		fmt.Fprintf(w, "  [%d resumed]", cres.ResumedTrials)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "word fail:       MC %.4e (95%% CI [%.4e, %.4e])  analytic %.4e\n",
+		v.WordFailMC, v.WordFailLo, v.WordFailHi, v.WordFailAnalytic)
+	fmt.Fprintf(w, "any-word fail:   MC %.4e (95%% CI [%.4e, %.4e])  analytic %.4e\n",
+		v.AnyWordFailMC, v.AnyWordFailLo, v.AnyWordFailHi, v.AnyWordFailAnalytic)
+	verdict := "agrees"
+	if !v.Agrees {
+		verdict = "DISAGREES"
+	}
+	fmt.Fprintf(w, "cross-check:     analytic %s with the Monte Carlo band\n", verdict)
 	return nil
 }
 

@@ -41,6 +41,12 @@ func TestBuildRejectsBadParams(t *testing.T) {
 		{Name: "a", Kind: "bercurve", Params: []byte(`{"hours":48,"arrangement":"triplex"}`)},
 		{Name: "a", Kind: "tradeoff", Params: []byte(`{"hours":0}`)},
 		{Name: "a", Kind: "experiments", Params: []byte(`{"ids":["nope"]}`)},
+		{Name: "a", Kind: "interleave", Params: []byte(`{"bogus":1}`)},
+		{Name: "a", Kind: "interleave", Params: []byte(`{"trials":0,"horizon_hours":1}`)},
+		{Name: "a", Kind: "interleave", Params: []byte(`{"depth":-1,"trials":1,"horizon_hours":1}`)},
+		{Name: "a", Kind: "array", Params: []byte(`{"hours":0,"trials":1}`)},
+		{Name: "a", Kind: "array", Params: []byte(`{"hours":1,"trials":1,"arrangement":"triplex"}`)},
+		{Name: "a", Kind: "array", Params: []byte(`{"hours":1,"trials":1,"n":3,"k":5}`)},
 	}
 	for i, e := range cases {
 		if _, err := Build(e, f); err == nil {

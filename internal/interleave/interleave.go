@@ -58,7 +58,8 @@ func (p *Page) StoredSymbols() int { return p.depth * p.code.N() }
 func (p *Page) CorrectableBurst() int { return p.depth * p.code.T() }
 
 // Encode encodes a page of depth*k data symbols into a stored page of
-// depth*n symbols, codeword-interleaved.
+// depth*n symbols, codeword-interleaved. It allocates its result and
+// scratch per call; hot loops should hold a Codec and use EncodeTo.
 func (p *Page) Encode(data []gf.Elem) ([]gf.Elem, error) {
 	if len(data) != p.DataSymbols() {
 		return nil, fmt.Errorf("interleave: page data has %d symbols, want %d", len(data), p.DataSymbols())
@@ -66,18 +67,26 @@ func (p *Page) Encode(data []gf.Elem) ([]gf.Elem, error) {
 	stored := make([]gf.Elem, p.StoredSymbols())
 	stripeData := make([]gf.Elem, p.code.K())
 	stripeCW := make([]gf.Elem, p.code.N())
+	if err := p.encodeInto(stored, data, stripeData, stripeCW); err != nil {
+		return nil, err
+	}
+	return stored, nil
+}
+
+// encodeInto runs the stripe loop with caller-owned scratch.
+func (p *Page) encodeInto(stored, data, stripeData, stripeCW []gf.Elem) error {
 	for s := 0; s < p.depth; s++ {
 		for j := 0; j < p.code.K(); j++ {
 			stripeData[j] = data[j*p.depth+s]
 		}
 		if err := p.code.EncodeTo(stripeCW, stripeData); err != nil {
-			return nil, err
+			return err
 		}
 		for j := 0; j < p.code.N(); j++ {
 			stored[j*p.depth+s] = stripeCW[j]
 		}
 	}
-	return stored, nil
+	return nil
 }
 
 // DecodeResult reports a page decode.
@@ -102,21 +111,40 @@ func (p *Page) Decode(stored []gf.Elem, erasures []int) (*DecodeResult, error) {
 		return nil, fmt.Errorf("interleave: stored page has %d symbols, want %d", len(stored), p.StoredSymbols())
 	}
 	perStripe := make([][]int, p.depth)
+	if err := p.splitErasures(perStripe, erasures); err != nil {
+		return nil, err
+	}
+	res := &DecodeResult{Data: make([]gf.Elem, p.DataSymbols())}
+	stripeCW := make([]gf.Elem, p.code.N())
+	if err := p.decodeInto(res, stored, perStripe, stripeCW, p.code.Decode); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// splitErasures validates stored-page erasure positions and appends
+// each to its stripe's list (lists are extended, not reset).
+func (p *Page) splitErasures(perStripe [][]int, erasures []int) error {
 	for _, e := range erasures {
 		if e < 0 || e >= p.StoredSymbols() {
-			return nil, fmt.Errorf("interleave: erasure %d out of range [0,%d)", e, p.StoredSymbols())
+			return fmt.Errorf("interleave: erasure %d out of range [0,%d)", e, p.StoredSymbols())
 		}
 		stripe := e % p.depth
 		perStripe[stripe] = append(perStripe[stripe], e/p.depth)
 	}
+	return nil
+}
 
-	res := &DecodeResult{Data: make([]gf.Elem, p.DataSymbols())}
-	stripeCW := make([]gf.Elem, p.code.N())
+// decodeInto runs the stripe loop into res with caller-owned scratch
+// and per-stripe decode function (the pooled Code.Decode wrapper or a
+// Codec's reusable workspace).
+func (p *Page) decodeInto(res *DecodeResult, stored []gf.Elem, perStripe [][]int, stripeCW []gf.Elem,
+	decode func([]gf.Elem, []int) (*rs.Result, error)) error {
 	for s := 0; s < p.depth; s++ {
 		for j := 0; j < p.code.N(); j++ {
 			stripeCW[j] = stored[j*p.depth+s]
 		}
-		dec, err := p.code.Decode(stripeCW, perStripe[s])
+		dec, err := decode(stripeCW, perStripe[s])
 		if err != nil {
 			res.FailedStripes = append(res.FailedStripes, s)
 			for j := 0; j < p.code.K(); j++ {
@@ -129,5 +157,73 @@ func (p *Page) Decode(stored []gf.Elem, erasures []int) (*DecodeResult, error) {
 			res.Data[j*p.depth+s] = dec.Data[j]
 		}
 	}
-	return res, nil
+	return nil
+}
+
+// Codec is a reusable page encode/decode workspace: it owns the
+// stripe scratch, the per-stripe erasure lists and one rs.Decoder, so
+// steady-state page traffic (the pagesim Monte Carlo, a controller
+// model pushing millions of pages) performs no per-page heap
+// allocation. A Codec is not safe for concurrent use; campaigns hold
+// one per worker goroutine.
+type Codec struct {
+	page       *Page
+	dec        *rs.Decoder
+	stripeData []gf.Elem
+	stripeCW   []gf.Elem
+	perStripe  [][]int
+}
+
+// NewCodec builds a reusable workspace for the page layout.
+func (p *Page) NewCodec() *Codec {
+	c := &Codec{
+		page:       p,
+		dec:        p.code.NewDecoder(),
+		stripeData: make([]gf.Elem, p.code.K()),
+		stripeCW:   make([]gf.Elem, p.code.N()),
+		perStripe:  make([][]int, p.depth),
+	}
+	for i := range c.perStripe {
+		c.perStripe[i] = make([]int, 0, p.code.N())
+	}
+	return c
+}
+
+// Page returns the layout the codec encodes and decodes.
+func (c *Codec) Page() *Page { return c.page }
+
+// EncodeTo encodes a page of depth*k data symbols into the
+// caller-provided stored slice of depth*n symbols, allocation-free.
+func (c *Codec) EncodeTo(stored, data []gf.Elem) error {
+	p := c.page
+	if len(data) != p.DataSymbols() {
+		return fmt.Errorf("interleave: page data has %d symbols, want %d", len(data), p.DataSymbols())
+	}
+	if len(stored) != p.StoredSymbols() {
+		return fmt.Errorf("interleave: stored page has %d symbols, want %d", len(stored), p.StoredSymbols())
+	}
+	return p.encodeInto(stored, data, c.stripeData, c.stripeCW)
+}
+
+// DecodeTo decodes a stored page into res, recycling res's buffers
+// (Data and FailedStripes are resized in place, so the steady state
+// allocates nothing). The semantics match Page.Decode exactly.
+func (c *Codec) DecodeTo(res *DecodeResult, stored []gf.Elem, erasures []int) error {
+	p := c.page
+	if len(stored) != p.StoredSymbols() {
+		return fmt.Errorf("interleave: stored page has %d symbols, want %d", len(stored), p.StoredSymbols())
+	}
+	for s := range c.perStripe {
+		c.perStripe[s] = c.perStripe[s][:0]
+	}
+	if err := p.splitErasures(c.perStripe, erasures); err != nil {
+		return err
+	}
+	if cap(res.Data) < p.DataSymbols() {
+		res.Data = make([]gf.Elem, p.DataSymbols())
+	}
+	res.Data = res.Data[:p.DataSymbols()]
+	res.CorrectedSymbols = 0
+	res.FailedStripes = res.FailedStripes[:0]
+	return p.decodeInto(res, stored, c.perStripe, c.stripeCW, c.dec.Decode)
 }

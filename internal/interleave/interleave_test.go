@@ -262,6 +262,125 @@ func TestFailedStripeStillReturnsOtherStripes(t *testing.T) {
 	}
 }
 
+// TestCodecMatchesPage: the reusable workspace must reproduce
+// Page.Encode/Decode exactly — clean, bursty and erasure-bearing
+// pages, including failed-stripe fallback data.
+func TestCodecMatchesPage(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, depth := range []int{1, 2, 4, 8} {
+		p, err := New(code, depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := p.NewCodec()
+		if c.Page() != p {
+			t.Fatal("codec page accessor wrong")
+		}
+		stored2 := make([]gf.Elem, p.StoredSymbols())
+		var res2 DecodeResult
+		for trial := 0; trial < 50; trial++ {
+			data := randPage(rng, p)
+			stored, err := p.Encode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.EncodeTo(stored2, data); err != nil {
+				t.Fatal(err)
+			}
+			for i := range stored {
+				if stored[i] != stored2[i] {
+					t.Fatalf("depth %d: EncodeTo differs at %d", depth, i)
+				}
+			}
+			// Corrupt: a burst plus a couple of random symbols, with one
+			// erased column symbol, so all decode paths are exercised.
+			var erasures []int
+			switch trial % 3 {
+			case 1:
+				start := rng.Intn(p.StoredSymbols() - 3)
+				for i := start; i < start+3; i++ {
+					stored[i] ^= gf.Elem(1 + rng.Intn(255))
+				}
+			case 2:
+				e := rng.Intn(p.StoredSymbols())
+				stored[e] = 0xAA
+				erasures = []int{e}
+				stored[rng.Intn(p.StoredSymbols())] ^= gf.Elem(1 + rng.Intn(255))
+			}
+			copy(stored2, stored)
+			want, err := p.Decode(stored, erasures)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.DecodeTo(&res2, stored2, erasures); err != nil {
+				t.Fatal(err)
+			}
+			if want.CorrectedSymbols != res2.CorrectedSymbols {
+				t.Fatalf("depth %d trial %d: corrected %d vs %d", depth, trial, want.CorrectedSymbols, res2.CorrectedSymbols)
+			}
+			if len(want.FailedStripes) != len(res2.FailedStripes) {
+				t.Fatalf("depth %d trial %d: failed stripes %v vs %v", depth, trial, want.FailedStripes, res2.FailedStripes)
+			}
+			for i := range want.FailedStripes {
+				if want.FailedStripes[i] != res2.FailedStripes[i] {
+					t.Fatalf("failed stripes %v vs %v", want.FailedStripes, res2.FailedStripes)
+				}
+			}
+			for i := range want.Data {
+				if want.Data[i] != res2.Data[i] {
+					t.Fatalf("depth %d trial %d: data differs at %d", depth, trial, i)
+				}
+			}
+		}
+	}
+}
+
+func TestCodecValidation(t *testing.T) {
+	p, _ := New(code, 4)
+	c := p.NewCodec()
+	var res DecodeResult
+	if err := c.EncodeTo(make([]gf.Elem, 72), make([]gf.Elem, 63)); err == nil {
+		t.Error("short data accepted")
+	}
+	if err := c.EncodeTo(make([]gf.Elem, 71), make([]gf.Elem, 64)); err == nil {
+		t.Error("short stored accepted")
+	}
+	if err := c.DecodeTo(&res, make([]gf.Elem, 71), nil); err == nil {
+		t.Error("short stored page accepted")
+	}
+	if err := c.DecodeTo(&res, make([]gf.Elem, 72), []int{-1}); err == nil {
+		t.Error("negative erasure accepted")
+	}
+}
+
+// TestCodecZeroAllocs pins the workspace contract: steady-state page
+// encode and decode (clean and with corrections) allocate nothing.
+func TestCodecZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	p, _ := New(code, 4)
+	c := p.NewCodec()
+	data := randPage(rng, p)
+	stored := make([]gf.Elem, p.StoredSymbols())
+	var res DecodeResult
+	if err := c.EncodeTo(stored, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DecodeTo(&res, stored, nil); err != nil {
+		t.Fatal(err) // warm res buffers before measuring
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := c.EncodeTo(stored, data); err != nil {
+			t.Fatal(err)
+		}
+		stored[11] ^= 0x3C
+		if err := c.DecodeTo(&res, stored, nil); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("steady-state encode+decode allocates %.1f times per page", allocs)
+	}
+}
+
 func BenchmarkEncodePageDepth8(b *testing.B) {
 	rng := rand.New(rand.NewSource(7))
 	p, _ := New(code, 8)
@@ -285,6 +404,45 @@ func BenchmarkDecodePageDepth8Burst(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := p.Decode(stored, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCodecEncodePageDepth8 / BenchmarkCodecDecodePageDepth8Burst
+// track the allocation-free workspace the pagesim campaigns run on;
+// both are gated by BENCH_baseline.json in CI.
+func BenchmarkCodecEncodePageDepth8(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	p, _ := New(code, 8)
+	c := p.NewCodec()
+	data := randPage(rng, p)
+	stored := make([]gf.Elem, p.StoredSymbols())
+	b.ReportAllocs()
+	b.SetBytes(int64(p.StoredSymbols()))
+	for i := 0; i < b.N; i++ {
+		if err := c.EncodeTo(stored, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCodecDecodePageDepth8Burst(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	p, _ := New(code, 8)
+	c := p.NewCodec()
+	data := randPage(rng, p)
+	stored, _ := p.Encode(data)
+	for i := 30; i < 38; i++ {
+		stored[i] ^= 0x3C
+	}
+	work := make([]gf.Elem, len(stored))
+	var res DecodeResult
+	b.ReportAllocs()
+	b.SetBytes(int64(p.StoredSymbols()))
+	for i := 0; i < b.N; i++ {
+		copy(work, stored)
+		if err := c.DecodeTo(&res, work, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

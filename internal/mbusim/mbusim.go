@@ -11,7 +11,10 @@
 // Each System stores the same 128-bit payload in its own layout;
 // campaigns inject Poisson-distributed burst events (rate proportional
 // to each system's stored size, so denser redundancy honestly costs
-// exposure) and measure the unrecovered fraction.
+// exposure) and measure the unrecovered fraction. Burst starts are
+// uniform over the placements at which the full burst fits the image,
+// so every event flips exactly Config.BurstBits stored bits — no
+// system gets a discount from bursts truncated at its image edge.
 //
 // Campaigns run on the internal/campaign engine: every trial draws
 // its burst pattern from a seed derived from (system, trial), so the
@@ -53,10 +56,13 @@ type System interface {
 }
 
 // flipBits applies the bursts to a bit-addressable image accessor.
+// Burst starts are clamped at generation time so every event fits
+// inside the image; the bounds check here is purely defensive against
+// hand-built burst lists.
 func flipBits(bits int, bursts [][2]int, flip func(bit int)) {
 	for _, b := range bursts {
 		for i := 0; i < b[1]; i++ {
-			if p := b[0] + i; p < bits {
+			if p := b[0] + i; p >= 0 && p < bits {
 				flip(p)
 			}
 		}
@@ -325,6 +331,14 @@ func Scenario(cfg Config, systems []System) (campaign.Scenario, error) {
 	}
 	s := &scenario{cfg: cfg, systems: systems}
 	for _, sys := range systems {
+		// Every event must apply its full length: a burst longer than
+		// the image cannot be placed without truncation, which would
+		// bias the cross-system comparison (the truncation probability
+		// scales inversely with each system's footprint).
+		if cfg.BurstBits > sys.StoredBits() {
+			return nil, fmt.Errorf("mbusim: burst of %d bits exceeds %s's %d stored bits",
+				cfg.BurstBits, sys.Name(), sys.StoredBits())
+		}
 		s.lostKeys = append(s.lostKeys, LostCounter(sys.Name()))
 		s.eventsKeys = append(s.eventsKeys, EventsCounter(sys.Name()))
 	}
@@ -367,8 +381,13 @@ func (w *worker) Trial(trial int, acc *campaign.Acc) error {
 		mean := cfg.EventsPerKilobit * float64(sys.StoredBits()) / 1000
 		n := poisson(w.rng, mean)
 		w.bursts = w.bursts[:0]
+		// Starts are uniform over [0, StoredBits-BurstBits] so every
+		// event flips exactly BurstBits bits; drawing over the full
+		// image would truncate bursts landing in the last BurstBits-1
+		// positions, under-dosing small-footprint systems.
+		span := sys.StoredBits() - cfg.BurstBits + 1
 		for j := 0; j < n; j++ {
-			w.bursts = append(w.bursts, [2]int{w.rng.Intn(sys.StoredBits()), cfg.BurstBits})
+			w.bursts = append(w.bursts, [2]int{w.rng.Intn(span), cfg.BurstBits})
 		}
 		acc.Add(w.scn.eventsKeys[i], int64(n))
 		ok, err := sys.Trial(w.rng, w.bursts)

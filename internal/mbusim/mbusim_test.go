@@ -1,9 +1,11 @@
 package mbusim
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"reflect"
+	"sync"
 	"testing"
 
 	"repro/internal/gf"
@@ -259,6 +261,85 @@ func TestRS2016SurvivesAnySingleSixBitBurst(t *testing.T) {
 		if !ok {
 			t.Fatalf("6-bit burst at offset %d defeated RS(20,16)", start)
 		}
+	}
+}
+
+// burstAuditor is a test System that verifies the engine-side burst
+// generation contract: every event it receives must apply its full
+// configured length inside the image (no edge truncation).
+type burstAuditor struct {
+	bits      int
+	burstBits int
+
+	mu       sync.Mutex
+	bursts   int
+	minStart int
+	maxStart int
+}
+
+func (a *burstAuditor) Name() string    { return fmt.Sprintf("auditor(%d)", a.bits) }
+func (a *burstAuditor) StoredBits() int { return a.bits }
+
+func (a *burstAuditor) Trial(rng *rand.Rand, bursts [][2]int) (bool, error) {
+	for _, b := range bursts {
+		if b[1] != a.burstBits {
+			return false, fmt.Errorf("burst length %d, want %d", b[1], a.burstBits)
+		}
+		flips := 0
+		flipBits(a.bits, [][2]int{b}, func(int) { flips++ })
+		if flips != a.burstBits {
+			return false, fmt.Errorf("burst at %d flipped %d of %d bits (truncated at image edge)",
+				b[0], flips, a.burstBits)
+		}
+		a.mu.Lock()
+		a.bursts++
+		if b[0] < a.minStart {
+			a.minStart = b[0]
+		}
+		if b[0] > a.maxStart {
+			a.maxStart = b[0]
+		}
+		a.mu.Unlock()
+	}
+	return true, nil
+}
+
+// TestEveryBurstFlipsFullLength is the regression test for the
+// edge-bias bug: starts used to be drawn over [0, StoredBits), so a
+// burst starting in the last BurstBits-1 positions was silently
+// truncated by flipBits — with a truncation probability that differed
+// per system footprint. Every injected burst must now flip exactly
+// BurstBits stored bits, and the clamped start range must still be
+// exercised end to end (start 0 and start StoredBits-BurstBits both
+// appear).
+func TestEveryBurstFlipsFullLength(t *testing.T) {
+	const burstBits = 6
+	// A deliberately tiny image makes edge starts frequent: 36 bits
+	// leaves starts 0..30, so truncation under the old scheme would
+	// hit ~14% of events.
+	aud := &burstAuditor{bits: 36, burstBits: burstBits, minStart: 1 << 30}
+	cfg := Config{EventsPerKilobit: 200, BurstBits: burstBits, Trials: 3000, Seed: 7}
+	if _, err := Run(cfg, []System{aud}); err != nil {
+		t.Fatal(err)
+	}
+	if aud.bursts == 0 {
+		t.Fatal("no bursts injected")
+	}
+	wantMax := aud.bits - burstBits
+	if aud.minStart != 0 || aud.maxStart != wantMax {
+		t.Errorf("observed start range [%d, %d], want [0, %d] fully exercised",
+			aud.minStart, aud.maxStart, wantMax)
+	}
+}
+
+// TestBurstLongerThanImageRejected: a burst that cannot fit a
+// system's image has no untruncated placement, so the campaign must
+// refuse to run instead of biasing the comparison.
+func TestBurstLongerThanImageRejected(t *testing.T) {
+	aud := &burstAuditor{bits: 8, burstBits: 16}
+	cfg := Config{EventsPerKilobit: 1, BurstBits: 16, Trials: 10, Seed: 1}
+	if _, err := Run(cfg, []System{aud}); err == nil {
+		t.Error("burst longer than the stored image accepted")
 	}
 }
 

@@ -1,0 +1,465 @@
+// Package pagesim is a page-level Monte Carlo fault-injection
+// simulator for the interleaved memory organization of paper ref [6]
+// (internal/interleave): a stored page of depth*n symbols striped
+// across depth independent RS codewords, exposed to the mixed fault
+// environment of a solid-state mass memory —
+//
+//   - transient SEUs: Poisson single-bit flips across the stored page;
+//   - multi-bit upsets: Poisson burst events flipping a run of
+//     adjacent stored bits (placement is clamped so every event
+//     applies its full length, matching internal/mbusim);
+//   - stuck-at columns: permanent whole-symbol failures (a dead
+//     physical column), immediately located by the self-checking
+//     hardware and handed to the decoder as erasures;
+//
+// with an optional scrub discipline (periodic or exponential, via
+// internal/scrub) that decodes, corrects and rewrites the page
+// between events. The page is read once at the mission horizon and
+// the outcome classified per stripe and per page.
+//
+// The simulator empirically validates interleave.Page.CorrectableBurst:
+// a trial whose only fault is one MBU burst within the guarantee
+// (BurstBits <= (depth*t-1)*m+1 stored bits, which can touch at most
+// depth*t symbols) must never lose the page, so campaigns report
+// single-burst trials and losses as separate counters that tests and
+// spec tolerance bands pin to zero.
+//
+// Campaigns run on the internal/campaign engine with per-trial
+// reseeding, so the aggregate statistics are bit-identical for any
+// worker count and inherit checkpointing and early stopping. All
+// rates are per hour, matching internal/memsim.
+package pagesim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/campaign"
+	"repro/internal/gf"
+	"repro/internal/interleave"
+	"repro/internal/rs"
+	"repro/internal/scrub"
+)
+
+// Config parameterizes a page campaign.
+type Config struct {
+	// N, K, M describe the per-stripe RS(n,k) code over GF(2^m).
+	N, K, M int
+	// Depth is the interleaving depth (codewords per page), >= 1.
+	Depth int
+
+	// LambdaBit is the SEU rate per stored bit per hour.
+	LambdaBit float64
+	// BurstPerKilobit is the MBU burst event rate per 1000 stored bits
+	// per hour; each event flips BurstBits adjacent stored bits.
+	BurstPerKilobit float64
+	// BurstBits is the length of each MBU burst in stored bits;
+	// required when BurstPerKilobit > 0.
+	BurstBits int
+	// LambdaColumn is the stuck-at column rate per stored symbol per
+	// hour: a struck symbol is permanently forced to a random value
+	// and immediately located (an erasure from then on).
+	LambdaColumn float64
+
+	// ScrubPeriod is the hours between scrub passes (0 disables);
+	// ExponentialScrub draws exponential intervals with that mean
+	// instead of the deterministic controller schedule.
+	ScrubPeriod      float64
+	ExponentialScrub bool
+
+	Horizon float64 // storage time in hours; the page is read once at the end
+	Trials  int
+	Seed    int64
+	Workers int // 0 = GOMAXPROCS
+}
+
+// Validate checks the configuration (code shape is validated when the
+// page is built).
+func (c Config) Validate() error {
+	finite := func(v float64) bool { return v >= 0 && !math.IsInf(v, 0) && !math.IsNaN(v) }
+	switch {
+	case c.Depth <= 0:
+		return fmt.Errorf("pagesim: nonpositive interleaving depth %d", c.Depth)
+	case !finite(c.LambdaBit) || !finite(c.BurstPerKilobit) || !finite(c.LambdaColumn):
+		// A non-finite rate would make the event loop's tEvent stall at
+		// t (Inf rate) or every comparison false (NaN), spinning the
+		// trial forever — the same hang class as Periodic.Next(+Inf).
+		return fmt.Errorf("pagesim: fault rates must be finite and nonnegative")
+	case c.BurstPerKilobit > 0 && c.BurstBits <= 0:
+		return fmt.Errorf("pagesim: burst rate %g needs a positive burst length", c.BurstPerKilobit)
+	case !finite(c.ScrubPeriod):
+		return fmt.Errorf("pagesim: invalid scrub period %v", c.ScrubPeriod)
+	case c.Horizon <= 0 || math.IsNaN(c.Horizon) || math.IsInf(c.Horizon, 0):
+		return fmt.Errorf("pagesim: invalid horizon %v", c.Horizon)
+	case c.Trials <= 0:
+		return fmt.Errorf("pagesim: need at least one trial")
+	}
+	return nil
+}
+
+// Counter keys reported into the campaign engine. PageLoss and
+// PageCorrect are per-trial (binomial); the rest are totals.
+const (
+	// CounterPageCorrect / CounterPageLoss classify each trial's final
+	// read: the page is lost when any stripe fails to decode or the
+	// returned data differs from the stored truth.
+	CounterPageCorrect = "page_correct"
+	CounterPageLoss    = "page_loss"
+	// CounterSilentLoss is the subset of page_loss in which every
+	// stripe decoded but the data was wrong (mis-correction).
+	CounterSilentLoss = "page_silent_loss"
+
+	// CounterCorrectedSymbols / CounterFailedStripes total the final
+	// read's symbol corrections and failed stripes across trials.
+	CounterCorrectedSymbols = "corrected_symbols"
+	CounterFailedStripes    = "failed_stripes"
+
+	// Fault and operation totals.
+	CounterSEUs         = "seus"
+	CounterBursts       = "bursts"
+	CounterStuckColumns = "stuck_columns"
+	CounterScrubOps     = "scrub_ops"
+
+	// CounterSingleBurstTrials / CounterSingleBurstLosses isolate the
+	// trials whose entire fault history is exactly one MBU burst; with
+	// BurstBits within the CorrectableBurst guarantee the loss counter
+	// must stay zero, which is the empirical validation campaigns and
+	// tolerance bands pin.
+	CounterSingleBurstTrials = "single_burst_trials"
+	CounterSingleBurstLosses = "single_burst_losses"
+)
+
+// Result aggregates a campaign.
+type Result struct {
+	Config Config
+	Trials int
+
+	PageCorrect int
+	PageLoss    int
+	SilentLoss  int
+
+	CorrectedSymbols int64
+	FailedStripes    int64
+
+	SEUs         int64
+	Bursts       int64
+	StuckColumns int64
+	ScrubOps     int64
+
+	SingleBurstTrials int64
+	SingleBurstLosses int64
+}
+
+// LossFraction is the observed page-loss probability.
+func (r *Result) LossFraction() float64 {
+	return float64(r.PageLoss) / float64(r.Trials)
+}
+
+// scenario adapts a validated Config to the campaign engine.
+type scenario struct {
+	cfg  Config
+	page *interleave.Page
+}
+
+// NewPage builds the interleaved page layout the configuration
+// describes (defaults: the paper's RS(18,16) over GF(2^8)).
+func (c Config) NewPage() (*interleave.Page, error) {
+	n, k, m := c.N, c.K, c.M
+	if n == 0 {
+		n = 18
+	}
+	if k == 0 {
+		k = 16
+	}
+	if m == 0 {
+		m = 8
+	}
+	field, err := gf.NewField(m)
+	if err != nil {
+		return nil, err
+	}
+	code, err := rs.New(field, n, k)
+	if err != nil {
+		return nil, err
+	}
+	return interleave.New(code, c.Depth)
+}
+
+// Scenario adapts the configuration to the campaign engine's
+// Scenario interface (validating it first).
+func Scenario(cfg Config) (campaign.Scenario, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	page, err := cfg.NewPage()
+	if err != nil {
+		return nil, fmt.Errorf("pagesim: %w", err)
+	}
+	storedBits := page.StoredSymbols() * page.Code().Field().M()
+	if cfg.BurstPerKilobit > 0 && cfg.BurstBits > storedBits {
+		return nil, fmt.Errorf("pagesim: burst of %d bits exceeds the %d-bit stored page", cfg.BurstBits, storedBits)
+	}
+	return &scenario{cfg: cfg, page: page}, nil
+}
+
+// Name encodes the full configuration so checkpoints from a different
+// campaign are rejected rather than silently merged.
+func (s *scenario) Name() string {
+	c := s.cfg
+	code := s.page.Code()
+	return fmt.Sprintf("pagesim:RS(%d,%d)/m=%d:depth=%d:lb=%g:bpk=%g:bb=%d:lc=%g:scrub=%g:exp=%t:h=%g:seed=%d",
+		code.N(), code.K(), code.Field().M(), s.page.Depth(),
+		c.LambdaBit, c.BurstPerKilobit, c.BurstBits, c.LambdaColumn,
+		c.ScrubPeriod, c.ExponentialScrub, c.Horizon, c.Seed)
+}
+
+// Trials implements campaign.Scenario.
+func (s *scenario) Trials() int { return s.cfg.Trials }
+
+// NewWorker implements campaign.Scenario.
+func (s *scenario) NewWorker() (campaign.Worker, error) { return newWorker(s.cfg, s.page), nil }
+
+// worker owns the per-goroutine scratch of a page campaign: the
+// reusable page codec, the RNG (reseeded per trial), the stored-page
+// state and every erasure/reencode buffer, so the steady state
+// performs no per-trial heap allocation.
+type worker struct {
+	cfg   Config
+	page  *interleave.Page
+	codec *interleave.Codec
+	rng   *rand.Rand
+	sched scrub.Scheduler
+
+	data   []gf.Elem // page payload scratch
+	truth  []gf.Elem // ground-truth stored page
+	stored []gf.Elem // current stored page
+	reenc  []gf.Elem // re-encoded page for scrub rewrites
+
+	stuck    []bool // whole-symbol stuck-at flags
+	erasures []int  // located stuck columns for the decoder
+	failed   []bool // per-stripe failed-decode scratch for scrub rewrites
+	res      interleave.DecodeResult
+}
+
+func newWorker(cfg Config, page *interleave.Page) *worker {
+	w := &worker{
+		cfg:      cfg,
+		page:     page,
+		codec:    page.NewCodec(),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		data:     make([]gf.Elem, page.DataSymbols()),
+		truth:    make([]gf.Elem, page.StoredSymbols()),
+		stored:   make([]gf.Elem, page.StoredSymbols()),
+		reenc:    make([]gf.Elem, page.StoredSymbols()),
+		stuck:    make([]bool, page.StoredSymbols()),
+		erasures: make([]int, 0, page.StoredSymbols()),
+		failed:   make([]bool, page.Depth()),
+	}
+	w.sched = scrub.Never{}
+	if cfg.ScrubPeriod > 0 {
+		if cfg.ExponentialScrub {
+			w.sched = &scrub.Exponential{Period: cfg.ScrubPeriod, Rng: w.rng}
+		} else {
+			w.sched = scrub.Periodic{Period: cfg.ScrubPeriod}
+		}
+	}
+	return w
+}
+
+// Trial implements campaign.Worker: one stored page from write to
+// final read, reproducible from the trial index alone.
+func (w *worker) Trial(trial int, acc *campaign.Acc) error {
+	cfg := w.cfg
+	w.rng.Seed(campaign.TrialSeed(cfg.Seed, trial))
+	rng := w.rng
+	page := w.page
+	m := page.Code().Field().M()
+	storedSymbols := page.StoredSymbols()
+	storedBits := storedSymbols * m
+
+	for i := range w.data {
+		w.data[i] = gf.Elem(rng.Intn(page.Code().Field().Size()))
+	}
+	if err := w.codec.EncodeTo(w.truth, w.data); err != nil {
+		return fmt.Errorf("pagesim: encode: %w", err)
+	}
+	copy(w.stored, w.truth)
+	for i := range w.stuck {
+		w.stuck[i] = false
+	}
+
+	// Per-page event rates (per hour).
+	seuRate := cfg.LambdaBit * float64(storedBits)
+	burstRate := cfg.BurstPerKilobit * float64(storedBits) / 1000
+	colRate := cfg.LambdaColumn * float64(storedSymbols)
+	totalRate := seuRate + burstRate + colRate
+
+	seus, bursts, cols := 0, 0, 0
+	t := 0.0
+	nextScrub := w.sched.Next(0)
+	for {
+		tEvent := math.Inf(1)
+		if totalRate > 0 {
+			tEvent = t + rng.ExpFloat64()/totalRate
+		}
+		if nextScrub < tEvent && nextScrub < cfg.Horizon {
+			t = nextScrub
+			w.doScrub(acc)
+			nextScrub = w.sched.Next(t)
+			continue
+		}
+		if tEvent >= cfg.Horizon {
+			break
+		}
+		t = tEvent
+		switch u := rng.Float64() * totalRate; {
+		case u < seuRate:
+			w.flipBit(rng.Intn(storedBits))
+			seus++
+		case u < seuRate+burstRate:
+			// Starts are uniform over the placements at which the full
+			// burst fits, so every event flips exactly BurstBits bits
+			// (the mbusim convention; no edge truncation bias).
+			start := rng.Intn(storedBits - cfg.BurstBits + 1)
+			for b := 0; b < cfg.BurstBits; b++ {
+				w.flipBit(start + b)
+			}
+			bursts++
+		default:
+			s := rng.Intn(storedSymbols)
+			w.stuck[s] = true
+			w.stored[s] = gf.Elem(rng.Intn(page.Code().Field().Size()))
+			cols++
+		}
+	}
+
+	acc.Add(CounterSEUs, int64(seus))
+	acc.Add(CounterBursts, int64(bursts))
+	acc.Add(CounterStuckColumns, int64(cols))
+
+	// Final read at the horizon.
+	if err := w.decode(); err != nil {
+		return err
+	}
+	acc.Add(CounterCorrectedSymbols, int64(w.res.CorrectedSymbols))
+	acc.Add(CounterFailedStripes, int64(len(w.res.FailedStripes)))
+	lost := len(w.res.FailedStripes) > 0
+	silent := false
+	if !lost {
+		for i := range w.data {
+			if w.res.Data[i] != w.data[i] {
+				lost, silent = true, true
+				break
+			}
+		}
+	}
+	singleBurst := bursts == 1 && seus == 0 && cols == 0
+	if singleBurst {
+		acc.Add(CounterSingleBurstTrials, 1)
+	}
+	switch {
+	case lost:
+		acc.Add(CounterPageLoss, 1)
+		if silent {
+			acc.Add(CounterSilentLoss, 1)
+		}
+		if singleBurst {
+			acc.Add(CounterSingleBurstLosses, 1)
+		}
+	default:
+		acc.Add(CounterPageCorrect, 1)
+	}
+	return nil
+}
+
+// flipBit applies an SEU to one stored bit; stuck symbols do not
+// respond (the column drives the line).
+func (w *worker) flipBit(bit int) {
+	m := w.page.Code().Field().M()
+	s := bit / m
+	if w.stuck[s] {
+		return
+	}
+	w.stored[s] ^= 1 << uint(bit%m)
+}
+
+// decode runs the page decoder on the stored page (DecodeTo never
+// mutates its input) with the located stuck columns as erasures, into
+// w.res.
+func (w *worker) decode() error {
+	w.erasures = w.erasures[:0]
+	for s, st := range w.stuck {
+		if st {
+			w.erasures = append(w.erasures, s)
+		}
+	}
+	if err := w.codec.DecodeTo(&w.res, w.stored, w.erasures); err != nil {
+		return fmt.Errorf("pagesim: decode: %w", err)
+	}
+	return nil
+}
+
+// doScrub decodes, corrects and rewrites the page. Stripes that fail
+// to decode are left untouched (the controller has nothing better to
+// write back); stuck columns reassert themselves through the rewrite.
+func (w *worker) doScrub(acc *campaign.Acc) {
+	acc.Add(CounterScrubOps, 1)
+	if err := w.decode(); err != nil {
+		// Decode errors here are structural (impossible for a validated
+		// config); surface them at the final read instead of silently
+		// skipping the scrub.
+		return
+	}
+	if err := w.codec.EncodeTo(w.reenc, w.res.Data); err != nil {
+		return
+	}
+	depth := w.page.Depth()
+	for s := range w.failed {
+		w.failed[s] = false
+	}
+	for _, s := range w.res.FailedStripes {
+		w.failed[s] = true
+	}
+	for idx := range w.reenc {
+		if w.failed[idx%depth] || w.stuck[idx] {
+			continue
+		}
+		w.stored[idx] = w.reenc[idx]
+	}
+}
+
+// ResultFromCampaign reassembles the simulator's Result from the
+// engine's counter set.
+func ResultFromCampaign(cfg Config, cres *campaign.Result) *Result {
+	return &Result{
+		Config:            cfg,
+		Trials:            cres.Trials,
+		PageCorrect:       int(cres.Counter(CounterPageCorrect)),
+		PageLoss:          int(cres.Counter(CounterPageLoss)),
+		SilentLoss:        int(cres.Counter(CounterSilentLoss)),
+		CorrectedSymbols:  cres.Counter(CounterCorrectedSymbols),
+		FailedStripes:     cres.Counter(CounterFailedStripes),
+		SEUs:              cres.Counter(CounterSEUs),
+		Bursts:            cres.Counter(CounterBursts),
+		StuckColumns:      cres.Counter(CounterStuckColumns),
+		ScrubOps:          cres.Counter(CounterScrubOps),
+		SingleBurstTrials: cres.Counter(CounterSingleBurstTrials),
+		SingleBurstLosses: cres.Counter(CounterSingleBurstLosses),
+	}
+}
+
+// Run executes the campaign on the shared engine. The result is
+// deterministic for a fixed Config (including Seed), independent of
+// Workers.
+func Run(cfg Config) (*Result, error) {
+	scn, err := Scenario(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cres, err := campaign.Run(scn, campaign.Config{Workers: cfg.Workers})
+	if err != nil {
+		return nil, err
+	}
+	return ResultFromCampaign(cfg, cres), nil
+}

@@ -1,0 +1,338 @@
+package pagesim
+
+import (
+	"errors"
+	"math"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/campaign"
+)
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{Depth: 0, Horizon: 1, Trials: 1},
+		{Depth: 2, LambdaBit: -1, Horizon: 1, Trials: 1},
+		{Depth: 2, BurstPerKilobit: 1, BurstBits: 0, Horizon: 1, Trials: 1},
+		{Depth: 2, LambdaColumn: -1, Horizon: 1, Trials: 1},
+		{Depth: 2, ScrubPeriod: -1, Horizon: 1, Trials: 1},
+		{Depth: 2, Horizon: 0, Trials: 1},
+		{Depth: 2, Horizon: math.Inf(1), Trials: 1},
+		{Depth: 2, Horizon: 1, Trials: 0},
+		// Non-finite rates would spin the event loop forever (tEvent
+		// stalls on an Inf rate; NaN falsifies every comparison).
+		{Depth: 2, LambdaBit: math.Inf(1), Horizon: 1, Trials: 1},
+		{Depth: 2, LambdaBit: math.NaN(), Horizon: 1, Trials: 1},
+		{Depth: 2, BurstPerKilobit: math.Inf(1), BurstBits: 4, Horizon: 1, Trials: 1},
+		{Depth: 2, LambdaColumn: math.NaN(), Horizon: 1, Trials: 1},
+		{Depth: 2, ScrubPeriod: math.Inf(1), Horizon: 1, Trials: 1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
+	}
+	// Structural rejections surface at Scenario build time.
+	if _, err := Scenario(Config{Depth: 2, N: 3, K: 5, Horizon: 1, Trials: 1}); err == nil {
+		t.Error("invalid code accepted")
+	}
+	if _, err := Scenario(Config{Depth: 2, BurstPerKilobit: 1, BurstBits: 10000, Horizon: 1, Trials: 1}); err == nil {
+		t.Error("burst longer than the stored page accepted")
+	}
+}
+
+func TestNoFaultsNoLoss(t *testing.T) {
+	res, err := Run(Config{Depth: 2, Horizon: 48, Trials: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PageLoss != 0 || res.PageCorrect != 50 {
+		t.Errorf("fault-free campaign lost pages: %+v", res)
+	}
+	if res.SEUs != 0 || res.Bursts != 0 || res.StuckColumns != 0 {
+		t.Errorf("fault-free campaign injected faults: %+v", res)
+	}
+}
+
+// TestCorrectableBurstEmpirical validates interleave.CorrectableBurst
+// through the Monte Carlo: with depth 2 and RS(18,16) (t=1) the
+// guarantee is 2 stored symbols, i.e. any bit burst of at most
+// (2-1)*8+1 = 9 bits touches at most 2 symbols and always corrects —
+// so trials whose entire fault history is one such burst must never
+// lose the page. A 17-bit burst always spans at least 3 symbols,
+// overloading one stripe, so every single-burst trial must lose.
+func TestCorrectableBurstEmpirical(t *testing.T) {
+	base := Config{
+		Depth:           2,
+		BurstPerKilobit: 3, // mean ~0.86 events over the horizon
+		Horizon:         1,
+		Trials:          2000,
+		Seed:            3,
+	}
+
+	within := base
+	within.BurstBits = 9
+	res, err := Run(within)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SingleBurstTrials < 200 {
+		t.Fatalf("only %d single-burst trials; statistics too weak", res.SingleBurstTrials)
+	}
+	if res.SingleBurstLosses != 0 {
+		t.Errorf("%d of %d single bursts within the guarantee lost the page",
+			res.SingleBurstLosses, res.SingleBurstTrials)
+	}
+
+	beyond := base
+	beyond.BurstBits = 17
+	res, err = Run(beyond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SingleBurstTrials < 200 {
+		t.Fatalf("only %d single-burst trials; statistics too weak", res.SingleBurstTrials)
+	}
+	if res.SingleBurstLosses != res.SingleBurstTrials {
+		t.Errorf("a 17-bit burst must overload a depth-2 t=1 page: %d losses of %d single bursts",
+			res.SingleBurstLosses, res.SingleBurstTrials)
+	}
+}
+
+// TestDeeperInterleavingAbsorbsBursts: under a burst environment rare
+// enough that single events dominate, deepening the interleave at the
+// same code must cut the page-loss fraction — the trade-off the
+// matrix sweeps measure. A 24-bit burst spans 3-4 stored symbols:
+// beyond t=2 for a depth-1 RS(20,16) page (every burst kills it), but
+// at most one symbol per stripe at depth 4 (only >= 3 coinciding
+// bursts can overload a stripe), even though the deeper page honestly
+// pays ~4x the event exposure for its footprint.
+func TestDeeperInterleavingAbsorbsBursts(t *testing.T) {
+	loss := func(depth int) float64 {
+		res, err := Run(Config{
+			N: 20, K: 16,
+			Depth:           depth,
+			BurstPerKilobit: 0.25,
+			BurstBits:       24,
+			Horizon:         4,
+			Trials:          3000,
+			Seed:            5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Bursts == 0 {
+			t.Fatal("no bursts injected")
+		}
+		return res.LossFraction()
+	}
+	shallow, deep := loss(1), loss(4)
+	if shallow == 0 {
+		t.Fatal("depth-1 page never lost; burst environment too mild")
+	}
+	if !(deep < shallow/2) {
+		t.Errorf("depth 4 loss %v not well below depth 1 loss %v", deep, shallow)
+	}
+}
+
+// TestScrubbingHelps: periodic scrubbing must cut the loss fraction
+// under an SEU-accumulation environment (the paper's Section 2
+// mechanism at page level).
+func TestScrubbingHelps(t *testing.T) {
+	run := func(scrub float64) *Result {
+		res, err := Run(Config{
+			Depth:       2,
+			LambdaBit:   2e-4,
+			ScrubPeriod: scrub,
+			Horizon:     48,
+			Trials:      1500,
+			Seed:        6,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	unscrubbed, scrubbed := run(0), run(4)
+	if scrubbed.ScrubOps == 0 {
+		t.Fatal("no scrubs performed")
+	}
+	if unscrubbed.ScrubOps != 0 {
+		t.Fatal("scrub-free campaign scrubbed")
+	}
+	if !(scrubbed.LossFraction() < unscrubbed.LossFraction()/2) {
+		t.Errorf("scrubbing did not help: %v vs %v", scrubbed.LossFraction(), unscrubbed.LossFraction())
+	}
+}
+
+// TestStuckColumnsAreErasures: located stuck columns consume erasure
+// capability; enough of them must eventually produce losses, and the
+// counters must see the faults.
+func TestStuckColumnsAreErasures(t *testing.T) {
+	res, err := Run(Config{
+		Depth:        2,
+		LambdaColumn: 5e-3,
+		Horizon:      48,
+		Trials:       1000,
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StuckColumns == 0 {
+		t.Fatal("no stuck columns injected")
+	}
+	if res.PageLoss == 0 {
+		t.Error("stuck-column saturation never lost a page")
+	}
+	// Detected losses only: a stuck column is an erasure, and erasure
+	// overflow is a detected failure, so silent losses require random
+	// errors to conspire — none are injected here.
+	if res.SilentLoss != 0 {
+		t.Errorf("%d silent losses under erasure-only faults", res.SilentLoss)
+	}
+}
+
+// mixedConfig is the determinism/resume workhorse: all three fault
+// classes plus periodic scrubbing.
+func mixedConfig() Config {
+	return Config{
+		Depth:           4,
+		LambdaBit:       1e-4,
+		BurstPerKilobit: 0.05,
+		BurstBits:       12,
+		LambdaColumn:    2e-4,
+		ScrubPeriod:     8,
+		Horizon:         48,
+		Trials:          800,
+		Seed:            42,
+	}
+}
+
+// TestDeterminismAcrossWorkerCounts: per-trial reseeding makes the
+// merged campaign result bit-identical for any worker count.
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	scn, err := Scenario(mixedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []*campaign.Result
+	for _, workers := range []int{1, 4, 8} {
+		cres, err := campaign.Run(scn, campaign.Config{Workers: workers, ShardSize: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, cres)
+	}
+	for i := 1; i < len(results); i++ {
+		if !reflect.DeepEqual(results[0], results[i]) {
+			t.Errorf("worker count changed results:\n%+v\nvs\n%+v", results[0], results[i])
+		}
+	}
+}
+
+// TestResumedCampaignMatchesUninterrupted interrupts a checkpointed
+// page campaign partway and verifies the resumed run is bit-identical
+// to an uninterrupted one.
+func TestResumedCampaignMatchesUninterrupted(t *testing.T) {
+	cfg := mixedConfig()
+	scn, err := Scenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := campaign.Run(scn, campaign.Config{Workers: 4, ShardSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cp := filepath.Join(t.TempDir(), "pagesim.ckpt.json")
+	budget := &budgetScenario{Scenario: scn, remaining: 400}
+	if _, err := campaign.Run(budget, campaign.Config{Workers: 4, ShardSize: 64, Checkpoint: cp}); err == nil {
+		t.Fatal("interrupted campaign reported success")
+	}
+
+	cres, err := campaign.Run(scn, campaign.Config{Workers: 4, ShardSize: 64, Checkpoint: cp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.ResumedTrials == 0 {
+		t.Fatal("resume recomputed every trial")
+	}
+	got := *cres
+	got.ResumedTrials = 0 // the only field allowed to differ
+	if !reflect.DeepEqual(want, &got) {
+		t.Errorf("resumed campaign diverged:\nwant %+v\ngot  %+v", want, &got)
+	}
+}
+
+// budgetScenario wraps a scenario so its workers fail after a shared
+// number of trials, simulating an interruption mid-campaign.
+type budgetScenario struct {
+	campaign.Scenario
+	remaining int64
+}
+
+func (b *budgetScenario) NewWorker() (campaign.Worker, error) {
+	w, err := b.Scenario.NewWorker()
+	if err != nil {
+		return nil, err
+	}
+	return &budgetWorker{inner: w, budget: &b.remaining}, nil
+}
+
+type budgetWorker struct {
+	inner  campaign.Worker
+	budget *int64
+}
+
+func (w *budgetWorker) Trial(trial int, acc *campaign.Acc) error {
+	if atomic.AddInt64(w.budget, -1) < 0 {
+		return errInterrupted
+	}
+	return w.inner.Trial(trial, acc)
+}
+
+var errInterrupted = errors.New("simulated interruption")
+
+// TestResultRoundTrip: ResultFromCampaign must surface every counter.
+func TestResultRoundTrip(t *testing.T) {
+	cfg := mixedConfig()
+	scn, err := Scenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cres, err := campaign.Run(scn, campaign.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ResultFromCampaign(cfg, cres)
+	if res.Trials != cfg.Trials {
+		t.Errorf("trials %d, want %d", res.Trials, cfg.Trials)
+	}
+	if res.PageCorrect+res.PageLoss != res.Trials {
+		t.Errorf("outcomes %d+%d do not partition %d trials", res.PageCorrect, res.PageLoss, res.Trials)
+	}
+	if res.PageCorrect == 0 || res.PageLoss == 0 {
+		t.Errorf("mixed environment should produce both outcomes: %d correct, %d lost", res.PageCorrect, res.PageLoss)
+	}
+	if res.SEUs == 0 || res.Bursts == 0 || res.StuckColumns == 0 || res.ScrubOps == 0 {
+		t.Errorf("missing fault/op counters: %+v", res)
+	}
+	if res.SilentLoss > res.PageLoss {
+		t.Errorf("silent losses %d exceed losses %d", res.SilentLoss, res.PageLoss)
+	}
+}
+
+func BenchmarkPageCampaign(b *testing.B) {
+	cfg := mixedConfig()
+	cfg.Trials = 200
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -48,15 +48,33 @@ func NewPeriodic(period float64) (Periodic, error) {
 }
 
 // Next returns the first multiple of Period (shifted by Offset)
-// strictly after t.
+// strictly after t. A non-finite query time (a simulator that ran off
+// the end of its horizon, or a NaN from an upstream computation) has
+// no boundary strictly after it, so Next returns +Inf instead of
+// looping on Inf <= Inf forever.
 func (p Periodic) Next(t float64) float64 {
 	if p.Period <= 0 {
+		return math.Inf(1)
+	}
+	if math.IsInf(t, 0) || math.IsNaN(t) {
 		return math.Inf(1)
 	}
 	k := math.Floor((t - p.Offset) / p.Period)
 	next := p.Offset + (k+1)*p.Period
 	for next <= t { // guard against floating-point landing at or before t
-		next += p.Period
+		stepped := next + p.Period
+		if stepped == next {
+			// Period is below the float spacing at |t|'s magnitude, so
+			// stepping cannot reach past t and the pre-fix code would
+			// loop forever. Give up with +Inf: for the simulators'
+			// forward-running clocks (t >= 0) this regime means the
+			// schedule has out-lived float resolution and scrubbing is
+			// over; a large-magnitude *negative* t also lands here
+			// even though later boundaries exist, an accepted
+			// imprecision for a query no in-repo caller can make.
+			return math.Inf(1)
+		}
+		next = stepped
 	}
 	return next
 }
@@ -80,7 +98,21 @@ func NewExponential(period float64, rng *rand.Rand) (*Exponential, error) {
 }
 
 // Next samples the next scrub instant after t. Memorylessness makes
-// sampling from the query time exact regardless of history.
+// sampling from the query time exact regardless of history. As with
+// Periodic, a non-finite query time has no instant strictly after it,
+// so Next returns +Inf (rather than -Inf/NaN arithmetic that would
+// hang or silently disable a caller's scheduling loop).
 func (e *Exponential) Next(t float64) float64 {
-	return t + e.Rng.ExpFloat64()*e.Period
+	if math.IsInf(t, 0) || math.IsNaN(t) {
+		return math.Inf(1)
+	}
+	next := t + e.Rng.ExpFloat64()*e.Period
+	if next == t {
+		// The sampled interval is below the float spacing at this
+		// magnitude; there is no representable instant strictly after
+		// t to return, and handing t back would wedge the caller's
+		// event loop at one instant.
+		return math.Inf(1)
+	}
+	return next
 }

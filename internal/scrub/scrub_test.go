@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+	"time"
 )
 
 func TestNeverNext(t *testing.T) {
@@ -68,6 +69,41 @@ func TestPeriodicOffset(t *testing.T) {
 	}
 	if got := p.Next(2.5); math.Abs(got-4.5) > 1e-12 {
 		t.Errorf("Next(2.5) = %v, want 4.5", got)
+	}
+}
+
+// TestNonFiniteQueryTerminates is the regression test for the
+// scheduler hang: Periodic.Next(+Inf) used to spin forever in the
+// guard loop (next += Period never escapes Inf <= Inf), and
+// Exponential.Next propagated -Inf/NaN into its caller's scheduling
+// loop. Every scheduler must return +Inf for a non-finite query. The
+// calls run in a goroutine under a deadline so a reintroduced hang
+// fails the test instead of wedging the suite.
+func TestNonFiniteQueryTerminates(t *testing.T) {
+	p, _ := NewPeriodic(4)
+	e, _ := NewExponential(4, rand.New(rand.NewSource(1)))
+	scheds := map[string]Scheduler{"periodic": p, "exponential": e, "never": Never{}}
+	for name, s := range scheds {
+		// 1e16 exercises the finite variant of the hang: the period is
+		// below the float spacing there, so a scheduler that cannot
+		// land strictly after t must give up with +Inf rather than
+		// spin or return t itself.
+		for _, q := range []float64{math.Inf(1), math.Inf(-1), math.NaN(), 1e16} {
+			done := make(chan float64, 1)
+			go func() { done <- s.Next(q) }()
+			select {
+			case got := <-done:
+				if math.IsInf(q, 0) || math.IsNaN(q) {
+					if !math.IsInf(got, 1) {
+						t.Errorf("%s: Next(%v) = %v, want +Inf", name, q, got)
+					}
+				} else if !(got > q) {
+					t.Errorf("%s: Next(%v) = %v, want strictly after", name, q, got)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatalf("%s: Next(%v) did not return within deadline", name, q)
+			}
+		}
 	}
 }
 
