@@ -15,7 +15,34 @@
 // A spec entry with a "matrix" field expands into the cross-product
 // of its parameter lists (-list shows the expanded grid); the cells
 // run as independent scenarios and their results are additionally
-// summarized as one grid table per matrix entry.
+// summarized as one grid table plus a heatmap of the headline counter
+// fraction per matrix entry. A "replicates" field adds a seed axis
+// (independent RNG replicates of the identical configuration).
+//
+// # Multi-process sharding
+//
+// The engine's planner deterministically splits every scenario's
+// shard range into N disjoint contiguous slices, so a campaign can
+// run as N independent processes (different machines included — the
+// slices share nothing but the spec file):
+//
+//	campaign -spec spec.json -partition 0/3 -partials parts/
+//	campaign -spec spec.json -partition 1/3 -partials parts/
+//	campaign -spec spec.json -partition 2/3 -partials parts/
+//	campaign -spec spec.json -merge -partials parts/ -out results/
+//
+// Each -partition run executes only its slice of every scenario and
+// writes a self-describing partial-result artifact under -partials
+// (append-only, resumable: rerun the same command after a crash and
+// only missing shards are recomputed). The -merge run folds the
+// partials into results that are bit-identical to an unpartitioned
+// run — including early stopping, which the merger re-decides on the
+// contiguous shard prefix (partitions deliberately over-run). With
+// -stream, the merge feeds samples straight from the partial
+// artifacts into the CSV artifacts without materializing them, so
+// million-sample campaigns merge in bounded memory (JSON artifacts
+// then omit the samples array, and per-scenario rendering is
+// suppressed).
 //
 // With -out, every scenario additionally writes <name>.json (the raw
 // engine result) and <name>.csv (counters and samples) into the
@@ -39,11 +66,15 @@ import (
 
 func main() {
 	var (
-		specPath = flag.String("spec", "", "campaign spec file (JSON); required")
-		outDir   = flag.String("out", "", "directory for per-scenario JSON/CSV results")
-		workers  = flag.Int("workers", 0, "override the spec's worker count (0 = keep)")
-		list     = flag.Bool("list", false, "list the spec's scenarios and exit")
-		quiet    = flag.Bool("q", false, "suppress per-scenario rendering, print only verdicts")
+		specPath  = flag.String("spec", "", "campaign spec file (JSON); required")
+		outDir    = flag.String("out", "", "directory for per-scenario JSON/CSV results")
+		workers   = flag.Int("workers", 0, "override the spec's worker count (0 = keep)")
+		list      = flag.Bool("list", false, "list the spec's scenarios and exit")
+		quiet     = flag.Bool("q", false, "suppress per-scenario rendering, print only verdicts")
+		partition = flag.String("partition", "", "run only slice i/N of every scenario (e.g. 0/3), writing partial artifacts under -partials")
+		merge     = flag.Bool("merge", false, "merge the partial artifacts under -partials instead of running scenarios")
+		partials  = flag.String("partials", "", "directory of partial-result artifacts (required with -partition or -merge)")
+		stream    = flag.Bool("stream", false, "with -merge and -out: stream samples into the CSV artifacts instead of holding them in memory (implies -q; JSON artifacts omit samples)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -54,6 +85,35 @@ func main() {
 		fmt.Fprintln(os.Stderr, "campaign: -spec is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	var part campaign.Partition
+	if *partition != "" {
+		if *merge {
+			fatal(fmt.Errorf("-partition and -merge are mutually exclusive (merge after every partition finished)"))
+		}
+		p, err := campaign.ParsePartition(*partition)
+		if err != nil {
+			fatal(err)
+		}
+		part = p
+	}
+	if (*partition != "" || *merge) && *partials == "" {
+		fatal(fmt.Errorf("-partition/-merge need -partials, the partial-artifact directory"))
+	}
+	if *partition != "" && *outDir != "" {
+		// Rendering, expectations and artifacts are all deferred to
+		// the merge; accepting -out here would exit 0 with an empty
+		// results directory.
+		fatal(fmt.Errorf("-out applies to the -merge step, not -partition runs"))
+	}
+	if *stream {
+		if !*merge || *outDir == "" {
+			// Without an output directory there is nowhere to stream
+			// to; silently falling back to an in-memory merge would be
+			// exactly the unbounded behavior -stream exists to avoid.
+			fatal(fmt.Errorf("-stream needs -merge and -out"))
+		}
+		*quiet = true // sample-based renders cannot run without materialized samples
 	}
 
 	f, err := spec.Load(*specPath)
@@ -73,16 +133,63 @@ func main() {
 		}
 		return
 	}
-	if *outDir != "" {
-		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+
+	if *partition != "" {
+		os.Exit(runPartition(f, built, part, *partials))
+	}
+	os.Exit(runCampaigns(f, built, runOptions{
+		outDir: *outDir,
+		quiet:  *quiet,
+		merge:  *merge,
+		stream: *stream,
+		dir:    *partials,
+	}))
+}
+
+// runPartition executes one slice of every scenario, writing partial
+// artifacts; expectations and rendering wait for the merge.
+func runPartition(f *spec.File, built []*spec.Built, part campaign.Partition, dir string) int {
+	failures := 0
+	for _, b := range built {
+		partial, err := b.RunPartition(f, part, dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campaign: %s: %v\n", b.Entry.Name, err)
+			failures++
+			continue
+		}
+		fmt.Printf("%-40s partition %s: %d trials (%d resumed) -> %s\n",
+			b.Entry.Name, part, partial.DoneTrials(), partial.ResumedTrials(), partial.Path())
+		partial.Close()
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "campaign: %d failure(s)\n", failures)
+		return 1
+	}
+	return 0
+}
+
+type runOptions struct {
+	outDir string
+	quiet  bool
+	merge  bool // obtain results by merging partials instead of running
+	stream bool // stream samples to CSV during the merge
+	dir    string
+}
+
+// runCampaigns obtains every scenario's result (running it, or
+// merging its partial artifacts), renders, checks expectations and
+// writes artifacts.
+func runCampaigns(f *spec.File, built []*spec.Built, opts runOptions) int {
+	if opts.outDir != "" {
+		if err := os.MkdirAll(opts.outDir, 0o755); err != nil {
 			fatal(err)
 		}
 	}
 
 	failures := 0
-	// Matrix cells are summarized as one grid table per origin after
-	// all scenarios have run; their per-cell rendering is suppressed
-	// (a 12-cell sweep would drown the output).
+	// Matrix cells are summarized as one grid table plus heatmap per
+	// origin after all scenarios have run; their per-cell rendering is
+	// suppressed (a 12-cell sweep would drown the output).
 	var gridOrder []string
 	grids := make(map[string][]spec.GridCell)
 	cellCount := make(map[string]int)
@@ -95,15 +202,19 @@ func main() {
 		// the cells' results arrive as a single grid table at the end
 		// (which also shows each cell's own trial count; "trials" can
 		// itself be a swept axis).
+		verb := "running"
+		if opts.merge {
+			verb = "merging"
+		}
 		if origin := b.Entry.MatrixOrigin; origin != "" {
 			if !headerPrinted[origin] {
 				headerPrinted[origin] = true
-				fmt.Printf("running matrix %s: %d %s cells...\n", origin, cellCount[origin], b.Entry.Kind)
+				fmt.Printf("%s matrix %s: %d %s cells...\n", verb, origin, cellCount[origin], b.Entry.Kind)
 			}
 		} else {
 			fmt.Printf("=== %s (%s, %d trials) ===\n", b.Entry.Name, b.Entry.Kind, b.Scenario.Trials())
 		}
-		cres, err := campaign.Run(b.Scenario, b.EngineConfig(f))
+		cres, err := obtainResult(f, b, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "campaign: %s: %v\n", b.Entry.Name, err)
 			failures++
@@ -114,7 +225,7 @@ func main() {
 				gridOrder = append(gridOrder, origin)
 			}
 			grids[origin] = append(grids[origin], spec.GridCell{Built: b, Result: cres})
-		} else if !*quiet {
+		} else if !opts.quiet {
 			if err := b.Render(os.Stdout, cres); err != nil {
 				fmt.Fprintf(os.Stderr, "campaign: %s: render: %v\n", b.Entry.Name, err)
 				failures++
@@ -124,8 +235,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "campaign: EXPECTATION FAILED: %v\n", err)
 			failures++
 		}
-		if *outDir != "" {
-			if err := writeArtifacts(*outDir, b.Entry.ArtifactPath(), cres); err != nil {
+		if opts.outDir != "" && !opts.stream {
+			if err := writeArtifacts(opts.outDir, b.Entry.ArtifactPath(), cres); err != nil {
 				fmt.Fprintf(os.Stderr, "campaign: %s: %v\n", b.Entry.Name, err)
 				failures++
 			}
@@ -134,7 +245,7 @@ func main() {
 			fmt.Println()
 		}
 	}
-	if !*quiet {
+	if !opts.quiet {
 		if len(gridOrder) > 0 {
 			fmt.Println()
 		}
@@ -144,27 +255,94 @@ func main() {
 				failures++
 			}
 			fmt.Println()
+			if err := spec.RenderGridHeatmap(os.Stdout, grids[origin]); err != nil {
+				fmt.Fprintf(os.Stderr, "campaign: %s: heatmap: %v\n", origin, err)
+				failures++
+			}
+			fmt.Println()
 		}
 	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "campaign: %d failure(s)\n", failures)
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// obtainResult runs the scenario in-process, or — in merge mode —
+// folds its partial artifacts, optionally streaming samples straight
+// into the CSV artifact.
+func obtainResult(f *spec.File, b *spec.Built, opts runOptions) (*campaign.Result, error) {
+	if !opts.merge {
+		return campaign.Run(b.Scenario, b.EngineConfig(f))
+	}
+	if !opts.stream {
+		return b.MergePartials(f, opts.dir, nil)
+	}
+	// Stream into a temp file and rename only on success, so a failed
+	// merge never leaves a silently truncated CSV in the results
+	// directory for downstream globs to ingest.
+	csvPath := filepath.Join(opts.outDir, filepath.FromSlash(b.Entry.ArtifactPath())+".csv")
+	if err := os.MkdirAll(filepath.Dir(csvPath), 0o755); err != nil {
+		return nil, err
+	}
+	csvTmp := csvPath + ".tmp"
+	csvFile, err := os.Create(csvTmp)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		csvFile.Close()
+		os.Remove(csvTmp) // no-op after the successful rename
+	}()
+	sink := &noteKeepingSink{CampaignCSVStream: expdata.NewCampaignCSVStream(csvFile)}
+	cres, err := b.MergePartials(f, opts.dir, sink)
+	if err != nil {
+		return nil, err
+	}
+	if err := sink.Flush(); err != nil {
+		return nil, err
+	}
+	if err := csvFile.Close(); err != nil {
+		return nil, err
+	}
+	if err := os.Rename(csvTmp, csvPath); err != nil {
+		return nil, err
+	}
+	// The JSON artifact carries counters, bookkeeping and notes
+	// (bounded, unlike samples); only the sample array lives
+	// exclusively in the CSV just streamed.
+	cres.Notes = sink.notes
+	if err := writeJSON(filepath.Join(opts.outDir, filepath.FromSlash(b.Entry.ArtifactPath())+".json"), cres); err != nil {
+		return nil, err
+	}
+	return cres, nil
+}
+
+// noteKeepingSink streams samples to the CSV writer but retains notes
+// — the campaign CSV schema has no note rows, and dropping them from
+// the JSON artifact too would silently lose data a non-stream merge
+// keeps. Notes are per-trial annotations, bounded like counters, so
+// holding them does not reopen the memory bound -stream exists for.
+type noteKeepingSink struct {
+	*expdata.CampaignCSVStream
+	notes []campaign.Note
+}
+
+func (s *noteKeepingSink) Note(n campaign.Note) error {
+	s.notes = append(s.notes, n)
+	return nil
 }
 
 // writeArtifacts stores the result under the entry's sanitized
 // artifact path (matrix cells: one subdirectory per matrix entry,
 // one JSON/CSV pair per cell).
 func writeArtifacts(dir, name string, cres *campaign.Result) error {
-	data, err := json.MarshalIndent(cres, "", "  ")
-	if err != nil {
-		return err
-	}
 	jsonPath := filepath.Join(dir, name+".json")
 	if err := os.MkdirAll(filepath.Dir(jsonPath), 0o755); err != nil {
 		return err
 	}
-	if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+	if err := writeJSON(jsonPath, cres); err != nil {
 		return err
 	}
 	csvFile, err := os.Create(filepath.Join(dir, name+".csv"))
@@ -172,7 +350,18 @@ func writeArtifacts(dir, name string, cres *campaign.Result) error {
 		return err
 	}
 	defer csvFile.Close()
-	return expdata.WriteCampaignCSV(csvFile, cres)
+	if err := expdata.WriteCampaignCSV(csvFile, cres); err != nil {
+		return err
+	}
+	return csvFile.Close()
+}
+
+func writeJSON(path string, cres *campaign.Result) error {
+	data, err := json.MarshalIndent(cres, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func fatal(err error) {

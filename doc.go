@@ -38,7 +38,7 @@
 // internal/rs (go test ./internal/rs -bench . -benchmem) and gated by
 // its TestSteadyStateZeroAllocs.
 //
-// # The campaign engine
+// # The campaign engine: plan, execute, merge
 //
 // Every experiment — Monte Carlo fault injection (memsim), multi-bit
 // upset comparisons (mbusim), analytic BER curves and design-space
@@ -46,14 +46,31 @@
 // subsystem, internal/campaign. A scenario implements two small
 // interfaces: Scenario (name, trial count, worker factory) and Worker
 // (run trial i into an accumulator of named counters, (x, y) samples
-// and notes). The engine shards the trial range into fixed contiguous
-// shards, fans them over a goroutine pool of per-worker codec
-// workspaces, and merges shard accumulators in index order, so the
-// aggregate statistics are bit-identical for any worker count. On top
-// of that base it provides Wilson-interval early stopping (decided on
-// contiguous shard prefixes, hence equally deterministic), atomic JSON
-// checkpointing with bit-identical resume, and structured results that
-// internal/expdata renders as tables, TSV, CSV or JSON.
+// and notes). The engine is three explicit layers. The planner
+// deterministically shards the trial range into fixed contiguous
+// shards and assigns a contiguous slice of the shard range to a
+// Partition{Index, Count} — shard boundaries and per-trial seeds
+// depend only on the global trial index, so any partitioning computes
+// the very shards a single process would. The executor runs one
+// partition's shards over a goroutine pool of per-worker codec
+// workspaces and appends each completed shard to a self-describing
+// partial-result artifact (an append-only JSON Lines file that
+// doubles as the resumable checkpoint — legacy single-object
+// checkpoints migrate transparently — and as the spill target that
+// keeps executor memory bounded for million-sample campaigns: spilled
+// samples leave the heap once durably on disk). The merger folds any
+// set of partials — one process or many — in global shard order into
+// a Result that is bit-identical to the single-process run, after
+// validating that the partials share one campaign fingerprint and
+// cover the shard range disjointly and completely; a merge Sink can
+// stream samples straight into internal/expdata's streaming CSV
+// writer instead of materializing them. Wilson-interval early
+// stopping stays deterministic under partitioning: a single-process
+// executor stops launching shards when the rule fires on the
+// contiguous prefix, while partitioned executors deliberately
+// over-run (they cannot see the global prefix) and the merger
+// re-decides the stop on the same prefix, landing on the identical
+// shard.
 //
 // The cmd/ binaries are thin scenario frontends: memsim, mbusim,
 // bercurve, sweep and tradeoff each build one scenario and format its
@@ -61,32 +78,43 @@
 // scenario JSON spec (internal/campaign/spec; runnable files under
 // examples/campaign/) whose entries can carry early-stop rules,
 // checkpoint paths and tolerance bands on counter fractions.
+// cmd/campaign's -partition i/N flag executes one slice of every
+// scenario (partial artifacts under -partials), and -merge reassembles
+// the slices into results byte-identical to an unpartitioned run —
+// the multi-process sharding workflow CI smoke-tests end to end.
 //
 // Spec entries can also carry a "matrix" field mapping parameter
 // names to value lists: the entry expands into the full cross-product
 // of cells (auto-suffixed names, shared defaults, the entry's
 // expectation bands applied to every cell), so one entry expresses an
 // RS(n,k) x interleaving-depth x scrub-interval study whose results
-// cmd/campaign renders as a grid table with per-cell CSV artifacts.
-// Two Monte Carlo scenario kinds give the matrix its sweep axes
-// beyond memsim: "interleave" (internal/pagesim) drives an
-// interleave.Page through mixed Poisson SEUs, full-length MBU bursts
-// and stuck-at columns under a scrub discipline, empirically
-// validating the CorrectableBurst guarantee (single-burst trials
-// within the guarantee must never lose a page); "array"
-// (array.SimConfig) simulates the word-level system with rates
-// matched to the analytic chain and cross-validates array.Evaluate's
-// memory-level AnyWordFail against the Monte Carlo's Wilson band,
-// failing the campaign on disagreement.
+// cmd/campaign renders as a grid table plus a textplot heatmap of the
+// headline counter fraction, with per-cell CSV artifacts. A
+// "replicates" field synthesizes a seed axis (independent RNG
+// replicates of one configuration — a CI of the CI). Two Monte Carlo
+// scenario kinds give the matrix its sweep axes beyond memsim:
+// "interleave" (internal/pagesim) drives an interleave.Page through
+// mixed Poisson SEUs, MBU bursts (lengths fixed or geometric via
+// internal/burstlen, always applied in full — no edge truncation) and
+// stuck-at columns under a scrub discipline, empirically validating
+// the CorrectableBurst guarantee (single-burst trials within the
+// guarantee must never lose a page); "array" (array.SimConfig)
+// simulates the word-level system with rates matched to the analytic
+// chain and cross-validates array.Evaluate's memory-level AnyWordFail
+// against the Monte Carlo's Wilson band, failing the campaign on
+// disagreement.
 //
 // # Continuous integration gates
 //
 // The ci workflow builds and tests on the current and previous Go
 // release, race-gates the worker-pool engine (go test -race ./...),
 // enforces gofmt/go vet, smoke-runs every binary's error paths
-// (non-zero exits), a multi-scenario campaign spec and the matrix
+// (non-zero exits), a multi-scenario campaign spec, the matrix
 // sweep spec (12 interleave cells plus the whole-memory analytic
-// cross-check), and gates benchmark regressions: the codec
+// cross-check), and the partitioned workflow (three -partition
+// processes merged and diffed byte-identically against the
+// unpartitioned artifacts, plus a -stream merge reproducing the same
+// CSV bytes), and gates benchmark regressions: the codec
 // microbenchmarks, the interleaved-page codec benchmarks and root
 // solver benchmarks run at -benchtime 100x -count=5 and cmd/benchdiff
 // compares them against the committed BENCH_baseline.json, failing on

@@ -2,26 +2,52 @@
 // every simulator and analytic sweep in this repository. A Scenario
 // describes a fixed number of deterministic-seeded trials plus a
 // factory for per-goroutine Workers (which own all reusable scratch:
-// codec workspaces, RNGs, modules). The engine shards the trial range
-// into fixed-size contiguous shards, fans the shards out over a
-// worker pool, and merges per-shard accumulators in shard order, so
-// the aggregate statistics are bit-identical for any worker count.
+// codec workspaces, RNGs, modules).
 //
+// The engine is three explicit layers:
+//
+//   - the planner (NewPlan) deterministically shards the trial range
+//     into fixed-size contiguous shards and assigns a contiguous slice
+//     of that shard range to a Partition{Index, Count} — shard
+//     boundaries and the TrialSeed stream depend only on the global
+//     trial index, so any partitioning of the range computes the very
+//     same shards a single process would;
+//   - the executor (Execute) runs one partition's shards over a
+//     worker-goroutine pool and records them into a self-describing
+//     partial-result artifact — an append-only JSON Lines file of
+//     per-shard counters, samples and notes that doubles as the
+//     resumable checkpoint and as the spill target that keeps
+//     executor memory bounded for million-sample campaigns;
+//   - the merger (Merge) folds any set of partials — from one process
+//     or many — in global shard order into a Result that is
+//     bit-identical to the single-process run, after validating that
+//     the partials share one campaign fingerprint and cover the shard
+//     range disjointly and completely.
+//
+// Run composes the three layers for the common single-process case.
 // On top of that base the engine provides:
 //
 //   - early stopping: once the Wilson confidence interval of a chosen
 //     counter is narrow enough over a contiguous prefix of shards, the
 //     campaign stops and discards any later shards already computed —
 //     the stopping point is a pure function of the shard contents, so
-//     early-stopped results are also worker-count independent;
-//   - checkpointing: completed shards are periodically written to a
-//     JSON file (atomically, via rename), and a rerun pointed at the
-//     same file resumes with only the missing shards — a resumed
-//     campaign is bit-identical to an uninterrupted one;
+//     early-stopped results are also worker-count independent. A
+//     single-process executor stops launching shards as soon as the
+//     rule fires; partitioned executors cannot see the global prefix,
+//     so they run their whole slice (deliberately over-running the
+//     stopping point) and the merger re-decides the stop on the
+//     contiguous prefix, which lands on the identical shard;
+//   - checkpointing: every completed shard is appended to the partial
+//     artifact, and a rerun pointed at the same file resumes with
+//     only the missing shards — a resumed campaign is bit-identical
+//     to an uninterrupted one (legacy single-object checkpoints are
+//     migrated transparently);
 //   - structured results: trials report named int64 counters, (x, y)
 //     samples grouped into labeled series, and free-form notes, which
 //     downstream formatting (internal/expdata, the cmd/ binaries)
-//     turns into tables, TSV, JSON or plots instead of printf.
+//     turns into tables, TSV, JSON or plots instead of printf — or,
+//     via a merge Sink, streams to disk without ever materializing
+//     the sample list in memory.
 //
 // Determinism contract: a Worker must derive all randomness for trial
 // i from the trial index (see TrialSeed), never from shared state, and
@@ -33,11 +59,7 @@ package campaign
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
-	"time"
 )
 
 // Scenario describes one experiment: how many trials it has and how
@@ -108,17 +130,6 @@ func (a *Acc) Note(trial int, format string, args ...any) {
 	a.notes = append(a.notes, Note{Trial: trial, Text: fmt.Sprintf(format, args...)})
 }
 
-// merge folds b into a. Counter addition is commutative; samples and
-// notes are appended, so callers must merge shards in index order to
-// keep them sorted by trial.
-func (a *Acc) merge(b *Acc) {
-	for k, v := range b.counters {
-		a.counters[k] += v
-	}
-	a.samples = append(a.samples, b.samples...)
-	a.notes = append(a.notes, b.notes...)
-}
-
 // EarlyStop stops a campaign once a binomial counter is resolved
 // precisely enough. The decision is evaluated only over contiguous
 // prefixes of completed shards, which makes the stopping trial count
@@ -184,15 +195,15 @@ type Config struct {
 	// DefaultShardSize. Results are independent of Workers for any
 	// fixed ShardSize; the early-stop point may move with ShardSize.
 	ShardSize int
-	// Checkpoint is the path of the resumable-progress file; ""
-	// disables checkpointing. If the file exists it must describe the
-	// same scenario (name, trials, shard size) and its completed
-	// shards are not recomputed.
+	// Checkpoint is the path of the resumable partial-result artifact;
+	// "" disables checkpointing. If the file exists it must describe
+	// the same scenario (name, trials, shard size) and its completed
+	// shards are not recomputed (legacy version-1 checkpoints are
+	// migrated in place).
 	Checkpoint string
-	// CheckpointEvery writes the file after every N newly completed
-	// shards; 0 throttles adaptively (at most about one write per
-	// second, plus a final flush), which keeps re-marshaling the
-	// growing checkpoint from dominating cheap-trial campaigns.
+	// CheckpointEvery appends progress after every N newly completed
+	// shards; 0 throttles adaptively (about one append batch per
+	// second or 64 buffered shards, plus a final flush).
 	CheckpointEvery int
 	// Stop optionally ends the campaign once a counter's confidence
 	// interval is narrow enough.
@@ -287,250 +298,27 @@ func Wilson(successes, trials int64, z float64) (lo, hi float64) {
 	return lo, hi
 }
 
-// shardDone is one completed shard travelling from a worker to the
-// collector.
-type shardDone struct {
-	index int
-	acc   *Acc
-	err   error
-}
-
-// Run executes the scenario under the config. The result is
+// Run executes the whole scenario in-process: it plans the full shard
+// range, executes it with Execute (spilling to cfg.Checkpoint when
+// set) and merges the single partial with Merge. The result is
 // deterministic for a fixed scenario and shard size, independent of
-// worker count, checkpoint interruptions, and scheduling.
+// worker count, partitioning, checkpoint interruptions, and
+// scheduling.
 func Run(scn Scenario, cfg Config) (*Result, error) {
-	if scn == nil {
-		return nil, fmt.Errorf("campaign: nil scenario")
+	plan, err := NewPlan(scn, cfg.ShardSize, Whole)
+	if err != nil {
+		return nil, err
 	}
-	total := scn.Trials()
-	if total <= 0 {
-		return nil, fmt.Errorf("campaign: scenario %q has no trials", scn.Name())
+	partial, err := Execute(scn, plan, ExecConfig{
+		Workers:    cfg.Workers,
+		Artifact:   cfg.Checkpoint,
+		FlushEvery: cfg.CheckpointEvery,
+		Stop:       cfg.Stop,
+		Progress:   cfg.Progress,
+	})
+	if err != nil {
+		return nil, err
 	}
-	if cfg.Stop != nil {
-		if err := cfg.Stop.validate(); err != nil {
-			return nil, err
-		}
-	}
-	shardSize := cfg.ShardSize
-	if shardSize <= 0 {
-		shardSize = DefaultShardSize
-	}
-	numShards := (total + shardSize - 1) / shardSize
-
-	accs := make([]*Acc, numShards)
-	resumedTrials := 0
-	if cfg.Checkpoint != "" {
-		n, err := loadCheckpoint(cfg.Checkpoint, scn.Name(), total, shardSize, accs)
-		if err != nil {
-			return nil, err
-		}
-		resumedTrials = n
-	}
-
-	var pending []int
-	for i, a := range accs {
-		if a == nil {
-			pending = append(pending, i)
-		}
-	}
-
-	shardSpan := func(idx int) (lo, hi int) {
-		lo = idx * shardSize
-		hi = lo + shardSize
-		if hi > total {
-			hi = total
-		}
-		return lo, hi
-	}
-
-	// Early-stop and contiguous-prefix state. A checkpoint-restored
-	// prefix is evaluated shard by shard exactly like live progress,
-	// so a resumed run reproduces the original stopping point even
-	// when the checkpoint holds in-flight shards beyond it.
-	var (
-		firstErr     error
-		stopFlag     int64
-		prefix       int
-		prefixCounts = make(map[string]int64)
-		stopPrefix   = -1 // shard count at which early stop triggered
-	)
-	checkStop := func() {
-		if cfg.Stop == nil || stopPrefix >= 0 || firstErr != nil {
-			return
-		}
-		_, trialsSoFar := shardSpan(prefix - 1)
-		successes := prefixCounts[cfg.Stop.Counter]
-		if successes > int64(trialsSoFar) {
-			// A counter that increments more than once per trial is
-			// not a binomial proportion; the Wilson width would be
-			// NaN and the stop rule would silently never fire.
-			firstErr = fmt.Errorf("campaign: %s: early-stop counter %q is not per-trial (%d over %d trials)",
-				scn.Name(), cfg.Stop.Counter, successes, trialsSoFar)
-			atomic.StoreInt64(&stopFlag, 1)
-			return
-		}
-		if cfg.Stop.satisfied(successes, trialsSoFar) {
-			stopPrefix = prefix
-			atomic.StoreInt64(&stopFlag, 1)
-		}
-	}
-	advancePrefix := func() {
-		for prefix < numShards && accs[prefix] != nil {
-			for k, v := range accs[prefix].counters {
-				prefixCounts[k] += v
-			}
-			prefix++
-			checkStop()
-		}
-	}
-	advancePrefix()
-	if stopPrefix >= 0 || firstErr != nil {
-		// The restored prefix already decided the campaign; don't
-		// start workers for shards that would be discarded anyway.
-		pending = nil
-	}
-
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(pending) {
-		workers = len(pending)
-	}
-
-	var nextPending int64 = -1
-	// The bounded buffer applies backpressure: workers can run at most
-	// ~2x workers shards ahead of the collector, so an early-stop
-	// decision (made by the collector) takes effect before cheap
-	// trials race through the whole budget, and checkpoint writes
-	// never lag unboundedly behind computed work.
-	resultsCap := 2 * workers
-	if resultsCap > len(pending) {
-		resultsCap = len(pending)
-	}
-	results := make(chan shardDone, resultsCap)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			worker, err := scn.NewWorker()
-			if err != nil {
-				results <- shardDone{index: -1, err: fmt.Errorf("campaign: %s: new worker: %w", scn.Name(), err)}
-				return
-			}
-			for {
-				i := atomic.AddInt64(&nextPending, 1)
-				if i >= int64(len(pending)) || atomic.LoadInt64(&stopFlag) != 0 {
-					return
-				}
-				shard := pending[i]
-				lo, hi := shardSpan(shard)
-				acc := NewAcc()
-				for t := lo; t < hi; t++ {
-					if err := worker.Trial(t, acc); err != nil {
-						atomic.StoreInt64(&stopFlag, 1)
-						results <- shardDone{index: shard, err: fmt.Errorf("campaign: %s: trial %d: %w", scn.Name(), t, err)}
-						return
-					}
-				}
-				results <- shardDone{index: shard, acc: acc}
-			}
-		}()
-	}
-	go func() {
-		wg.Wait()
-		close(results)
-	}()
-
-	// Collector: merge shards, advance the contiguous prefix, decide
-	// early stopping, and checkpoint progress.
-	var (
-		sinceWrite = 0
-		doneTrials = resumedTrials
-		lastWrite  = time.Now()
-	)
-	// CheckpointEvery > 0 writes after exactly that many new shards;
-	// the default throttles to about one write per second so that
-	// cheap-trial campaigns don't spend their time re-marshaling a
-	// growing checkpoint after every shard (resume just recomputes
-	// whatever the last write missed).
-	shouldWrite := func() bool {
-		if cfg.Checkpoint == "" || sinceWrite == 0 {
-			return false
-		}
-		if cfg.CheckpointEvery > 0 {
-			return sinceWrite >= cfg.CheckpointEvery
-		}
-		return time.Since(lastWrite) >= time.Second
-	}
-	reportProgress := func() {
-		if cfg.Progress != nil {
-			cfg.Progress(doneTrials, total)
-		}
-	}
-	reportProgress()
-
-	for done := range results {
-		if done.err != nil {
-			if firstErr == nil {
-				firstErr = done.err
-			}
-			continue
-		}
-		accs[done.index] = done.acc
-		lo, hi := shardSpan(done.index)
-		doneTrials += hi - lo
-		advancePrefix()
-		sinceWrite++
-		if shouldWrite() {
-			if err := writeCheckpoint(cfg.Checkpoint, scn.Name(), total, shardSize, accs); err != nil && firstErr == nil {
-				firstErr = err
-				atomic.StoreInt64(&stopFlag, 1)
-			}
-			sinceWrite = 0
-			lastWrite = time.Now()
-		}
-		reportProgress()
-	}
-
-	// Flush progress (including partial progress before an error) so
-	// an aborted campaign resumes where it stopped.
-	if cfg.Checkpoint != "" && sinceWrite > 0 {
-		if err := writeCheckpoint(cfg.Checkpoint, scn.Name(), total, shardSize, accs); err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
-
-	useShards := numShards
-	earlyStopped := false
-	if stopPrefix >= 0 {
-		useShards = stopPrefix
-		earlyStopped = stopPrefix < numShards
-	} else if prefix < numShards {
-		// No early stop requested/triggered, yet a gap remains: a
-		// worker exited early without reporting an error (impossible
-		// unless a Worker panicked and was recovered elsewhere).
-		return nil, fmt.Errorf("campaign: %s: incomplete campaign: %d of %d shards done", scn.Name(), prefix, numShards)
-	}
-
-	merged := NewAcc()
-	for i := 0; i < useShards; i++ {
-		merged.merge(accs[i])
-	}
-	_, trials := shardSpan(useShards - 1)
-	res := &Result{
-		Scenario:      scn.Name(),
-		Requested:     total,
-		Trials:        trials,
-		EarlyStopped:  earlyStopped,
-		ResumedTrials: resumedTrials,
-		Counters:      merged.counters,
-		Samples:       merged.samples,
-		Notes:         merged.notes,
-	}
-	return res, nil
+	defer partial.Close()
+	return Merge([]*Partial{partial}, MergeConfig{Stop: cfg.Stop})
 }

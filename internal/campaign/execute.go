@@ -1,0 +1,349 @@
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxBufferedShards bounds how many completed-but-unflushed shard
+// records the executor holds when an artifact is configured and no
+// explicit FlushEvery is set. Together with the spill-after-flush
+// policy this caps resident sample memory at about
+// maxBufferedShards * ShardSize samples regardless of campaign size.
+const maxBufferedShards = 64
+
+// ExecConfig tunes one partition's execution.
+type ExecConfig struct {
+	// Workers is the goroutine count; 0 means GOMAXPROCS.
+	Workers int
+	// Artifact is the path of the partial-result file; "" keeps the
+	// partition's output in memory. When the file exists it must
+	// describe the same plan (scenario, trials, shard size, partition)
+	// and its completed shards are not recomputed; a legacy version-1
+	// checkpoint is migrated to the version-2 format in place. Once a
+	// shard record has been appended to the artifact its samples and
+	// notes are dropped from memory (Merge re-reads them), so a
+	// file-backed execution's memory use is bounded by the flush
+	// cadence, not the campaign size.
+	Artifact string
+	// FlushEvery appends buffered shard records after every N newly
+	// completed shards; 0 flushes after maxBufferedShards shards or
+	// about one second, whichever comes first (plus a final flush).
+	FlushEvery int
+	// Stop optionally ends the campaign once a counter's confidence
+	// interval is narrow enough. The executor applies it only when the
+	// plan covers the whole campaign (its local shard prefix is then
+	// the global prefix); a partitioned executor runs its entire slice
+	// — over-running a would-be stopping point — and Merge decides the
+	// stop deterministically on the contiguous global prefix.
+	Stop *EarlyStop
+	// Progress, when non-nil, is called from the collector as trials
+	// complete (monotonically, including resumed trials), with the
+	// partition's trial total.
+	Progress func(doneTrials, totalTrials int)
+}
+
+// Execute runs one partition of the campaign and returns its partial
+// result. The shards it computes are bit-identical to the ones a
+// single-process run would compute for the same indices.
+func Execute(scn Scenario, plan *Plan, cfg ExecConfig) (*Partial, error) {
+	if scn == nil || plan == nil {
+		return nil, fmt.Errorf("campaign: nil scenario or plan")
+	}
+	if scn.Name() != plan.Scenario {
+		return nil, fmt.Errorf("campaign: plan is for scenario %q, executing %q", plan.Scenario, scn.Name())
+	}
+	if cfg.Stop != nil {
+		if err := cfg.Stop.validate(); err != nil {
+			return nil, err
+		}
+	}
+
+	partial, appender, err := preparePartial(plan, cfg.Artifact)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if appender != nil {
+			appender.close()
+		}
+	}()
+
+	var pending []int
+	for i := plan.First; i < plan.End; i++ {
+		if !partial.has(i) {
+			pending = append(pending, i)
+		}
+	}
+
+	// Early-stop and contiguous-prefix state, meaningful only for a
+	// full plan (local prefix == global prefix). An artifact-restored
+	// prefix is evaluated shard by shard exactly like live progress,
+	// so a resumed run reproduces the original stopping point even
+	// when the artifact holds in-flight shards beyond it.
+	var (
+		firstErr     error
+		stopFlag     int64
+		prefix       = plan.First
+		prefixCounts = make(map[string]int64)
+		stopped      = false
+	)
+	useStop := cfg.Stop != nil && plan.Full()
+	checkStop := func() {
+		if !useStop || stopped || firstErr != nil {
+			return
+		}
+		_, trialsSoFar := plan.ShardSpan(prefix - 1)
+		successes := prefixCounts[cfg.Stop.Counter]
+		if err := checkBinomial(scn.Name(), cfg.Stop.Counter, successes, trialsSoFar); err != nil {
+			firstErr = err
+			atomic.StoreInt64(&stopFlag, 1)
+			return
+		}
+		if cfg.Stop.satisfied(successes, trialsSoFar) {
+			stopped = true
+			atomic.StoreInt64(&stopFlag, 1)
+		}
+	}
+	advancePrefix := func() {
+		for prefix < plan.End && partial.has(prefix) {
+			for k, v := range partial.counters[prefix] {
+				prefixCounts[k] += v
+			}
+			prefix++
+			checkStop()
+		}
+	}
+	advancePrefix()
+	if stopped || firstErr != nil {
+		// The restored prefix already decided the campaign; don't
+		// start workers for shards that would be discarded anyway.
+		pending = nil
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+
+	var nextPending int64 = -1
+	// The bounded buffer applies backpressure: workers can run at most
+	// ~2x workers shards ahead of the collector, so an early-stop
+	// decision (made by the collector) takes effect before cheap
+	// trials race through the whole budget, and artifact appends never
+	// lag unboundedly behind computed work.
+	resultsCap := 2 * workers
+	if resultsCap > len(pending) {
+		resultsCap = len(pending)
+	}
+	results := make(chan shardDone, resultsCap)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker, err := scn.NewWorker()
+			if err != nil {
+				results <- shardDone{index: -1, err: fmt.Errorf("campaign: %s: new worker: %w", scn.Name(), err)}
+				return
+			}
+			for {
+				i := atomic.AddInt64(&nextPending, 1)
+				if i >= int64(len(pending)) || atomic.LoadInt64(&stopFlag) != 0 {
+					return
+				}
+				shard := pending[i]
+				lo, hi := plan.ShardSpan(shard)
+				acc := NewAcc()
+				for t := lo; t < hi; t++ {
+					if err := worker.Trial(t, acc); err != nil {
+						atomic.StoreInt64(&stopFlag, 1)
+						results <- shardDone{index: shard, err: fmt.Errorf("campaign: %s: trial %d: %w", scn.Name(), t, err)}
+						return
+					}
+				}
+				results <- shardDone{index: shard, acc: acc}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Collector: record shards, advance the contiguous prefix, decide
+	// early stopping (full plans), and append to the artifact. Spilled
+	// records drop their samples from memory once durably appended.
+	var (
+		buffered   []*shardRecord
+		doneTrials = partial.resumed
+		lastWrite  = time.Now()
+	)
+	flushDue := func() bool {
+		if appender == nil || len(buffered) == 0 {
+			return false
+		}
+		if cfg.FlushEvery > 0 {
+			return len(buffered) >= cfg.FlushEvery
+		}
+		return len(buffered) >= maxBufferedShards || time.Since(lastWrite) >= time.Second
+	}
+	flush := func() error {
+		for i, rec := range buffered {
+			loc, err := appender.append(rec)
+			if err != nil {
+				// Keep only the un-appended suffix so a later flush
+				// (the final one runs even after errors) cannot
+				// duplicate records already on disk.
+				n := copy(buffered, buffered[i:])
+				for j := n; j < len(buffered); j++ {
+					buffered[j] = nil
+				}
+				buffered = buffered[:n]
+				return err
+			}
+			partial.loc[rec.Index] = loc
+			buffered[i] = nil // release the spilled samples to the GC
+		}
+		buffered = buffered[:0]
+		lastWrite = time.Now()
+		return nil
+	}
+	reportProgress := func() {
+		if cfg.Progress != nil {
+			cfg.Progress(doneTrials, plan.PartitionTrials())
+		}
+	}
+	reportProgress()
+
+	for done := range results {
+		if done.err != nil {
+			if firstErr == nil {
+				firstErr = done.err
+			}
+			continue
+		}
+		rec := &shardRecord{
+			Index:    done.index,
+			Counters: done.acc.counters,
+			Samples:  done.acc.samples,
+			Notes:    done.acc.notes,
+		}
+		partial.record(rec)
+		if appender != nil {
+			buffered = append(buffered, rec)
+		}
+		lo, hi := plan.ShardSpan(done.index)
+		doneTrials += hi - lo
+		advancePrefix()
+		if flushDue() {
+			if err := flush(); err != nil && firstErr == nil {
+				firstErr = err
+				atomic.StoreInt64(&stopFlag, 1)
+			}
+		}
+		reportProgress()
+	}
+
+	// Flush remaining progress (including partial progress before an
+	// error) so an aborted campaign resumes where it stopped.
+	if err := flush(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if appender != nil {
+		if err := appender.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		appender = nil
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return partial, nil
+}
+
+// checkBinomial guards the early-stop rule: a counter that increments
+// more than once per trial is not a binomial proportion; the Wilson
+// width would be NaN and the stop rule would silently never fire.
+func checkBinomial(scenario, counter string, successes int64, trials int) error {
+	if successes > int64(trials) {
+		return fmt.Errorf("campaign: %s: early-stop counter %q is not per-trial (%d over %d trials)",
+			scenario, counter, successes, trials)
+	}
+	return nil
+}
+
+// preparePartial builds the partition's output store: an in-memory
+// partial when no artifact is configured, otherwise the existing
+// artifact (validated against the plan, migrating version-1
+// checkpoints) or a freshly created one, opened for appending.
+func preparePartial(plan *Plan, artifact string) (*Partial, *partialAppender, error) {
+	if artifact == "" {
+		return newMemPartial(plan), nil, nil
+	}
+	existing, appendAt, err := readPartial(artifact)
+	if err != nil {
+		return nil, nil, err
+	}
+	header := plan.header()
+	if existing == nil {
+		p := &Partial{
+			header:   header,
+			counters: make(map[int]map[string]int64),
+			loc:      make(map[int][2]int64),
+			path:     artifact,
+		}
+		appender, err := createPartialFile(artifact, header, nil, p.loc)
+		if err != nil {
+			return nil, nil, err
+		}
+		return p, appender, nil
+	}
+	if existing.header != header {
+		return nil, nil, fmt.Errorf("campaign: partial %s is for scenario %q (%d trials, shard %d, partition %s), want %q (%d trials, shard %d, partition %s)",
+			artifact, existing.header.Scenario, existing.header.Trials, existing.header.ShardSize, existing.header.partition(),
+			plan.Scenario, plan.Trials, plan.ShardSize, plan.Part)
+	}
+	// Restored shards must lie inside the plan's partition range.
+	for idx := range existing.counters {
+		if idx < plan.First || idx >= plan.End {
+			return nil, nil, fmt.Errorf("campaign: partial %s holds shard %d outside partition %s range [%d, %d)",
+				artifact, idx, plan.Part, plan.First, plan.End)
+		}
+	}
+	existing.resumed = existing.DoneTrials()
+	if appendAt < 0 {
+		// Version-1 checkpoint: rewrite as version 2 so new shards can
+		// be appended. The in-memory records move to the file.
+		records := make([]*shardRecord, 0, len(existing.mem))
+		for _, idx := range existing.Shards() {
+			records = append(records, existing.mem[idx])
+		}
+		existing.loc = make(map[int][2]int64)
+		appender, err := createPartialFile(artifact, header, records, existing.loc)
+		if err != nil {
+			return nil, nil, err
+		}
+		existing.mem = nil
+		return existing, appender, nil
+	}
+	appender, err := openAppender(artifact, appendAt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return existing, appender, nil
+}
+
+// shardDone is one completed shard travelling from a worker to the
+// collector.
+type shardDone struct {
+	index int
+	acc   *Acc
+	err   error
+}

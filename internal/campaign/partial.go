@@ -1,0 +1,469 @@
+package campaign
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+)
+
+// Partial-result artifact format. Version 2 is an append-only JSON
+// Lines file: a header line identifying the campaign geometry and the
+// partition, followed by one line per completed shard. Appending a
+// shard is O(shard), not O(campaign), which is what lets the executor
+// spill samples to disk as shards complete instead of re-marshaling a
+// growing checkpoint — the bounded-memory path for million-sample
+// campaigns. A torn final line (crash mid-append) is dropped on read
+// and truncated away before the next append, so the file is always
+// resumable. Version 1 is the legacy single-object checkpoint written
+// by earlier releases; readPartial migrates it transparently (same
+// shard contents, partition 0/1 implied).
+const (
+	partialVersionLegacy = 1
+	partialVersion       = 2
+)
+
+// partialHeader is the first line of a version-2 artifact.
+type partialHeader struct {
+	Version   int    `json:"version"`
+	Scenario  string `json:"scenario"`
+	Trials    int    `json:"trials"`
+	ShardSize int    `json:"shard_size"`
+	// PartitionIndex/PartitionCount record which slice of the shard
+	// range this artifact holds (0/1 for a single-process campaign).
+	PartitionIndex int `json:"partition_index"`
+	PartitionCount int `json:"partition_count"`
+}
+
+func (h partialHeader) fingerprint() string {
+	return fmt.Sprintf("%s|trials=%d|shard=%d", h.Scenario, h.Trials, h.ShardSize)
+}
+
+func (h partialHeader) partition() Partition {
+	return Partition{Index: h.PartitionIndex, Count: h.PartitionCount}
+}
+
+func (h partialHeader) numShards() int {
+	return (h.Trials + h.ShardSize - 1) / h.ShardSize
+}
+
+// shardRecord is one completed shard on the wire (and the in-memory
+// record of an artifact-less execution).
+type shardRecord struct {
+	Index    int              `json:"index"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Samples  []Sample         `json:"samples,omitempty"`
+	Notes    []Note           `json:"notes,omitempty"`
+}
+
+// legacyCheckpoint is the version-1 single-object schema.
+type legacyCheckpoint struct {
+	Version   int           `json:"version"`
+	Scenario  string        `json:"scenario"`
+	Trials    int           `json:"trials"`
+	ShardSize int           `json:"shard_size"`
+	Shards    []shardRecord `json:"shards"`
+}
+
+// sampleWire is the JSON form of Sample. Coordinates travel as
+// strconv-formatted strings because campaigns legitimately record
+// non-finite values (an MTTDL of +Inf, say) that encoding/json
+// refuses to emit as numbers; FormatFloat('g', -1) round-trips every
+// float64 bit pattern exactly, which the merge-equals-single-process
+// guarantee depends on.
+type sampleWire struct {
+	Trial  int    `json:"trial"`
+	Series string `json:"series"`
+	X      string `json:"x"`
+	Y      string `json:"y"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s Sample) MarshalJSON() ([]byte, error) {
+	return json.Marshal(sampleWire{
+		Trial:  s.Trial,
+		Series: s.Series,
+		X:      strconv.FormatFloat(s.X, 'g', -1, 64),
+		Y:      strconv.FormatFloat(s.Y, 'g', -1, 64),
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *Sample) UnmarshalJSON(data []byte) error {
+	var w sampleWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	x, err := strconv.ParseFloat(w.X, 64)
+	if err != nil {
+		return fmt.Errorf("campaign: sample x %q: %w", w.X, err)
+	}
+	y, err := strconv.ParseFloat(w.Y, 64)
+	if err != nil {
+		return fmt.Errorf("campaign: sample y %q: %w", w.Y, err)
+	}
+	s.Trial, s.Series, s.X, s.Y = w.Trial, w.Series, x, y
+	return nil
+}
+
+// Partial is one partition's executed output: per-shard counters
+// (always resident — they are small and drive early stopping and
+// merge validation) plus per-shard samples and notes, held in memory
+// for artifact-less executions and lazily re-read from the artifact
+// file otherwise, so a file-backed Partial's memory footprint is
+// independent of the campaign's sample volume.
+type Partial struct {
+	header  partialHeader
+	resumed int // trials restored from a pre-existing artifact
+
+	counters map[int]map[string]int64
+	mem      map[int]*shardRecord // artifact-less records
+	loc      map[int][2]int64     // file-backed record {offset, length}
+
+	path string
+	file *os.File // lazily opened read handle for Load
+}
+
+// Partition returns the slice of the campaign this partial holds.
+func (p *Partial) Partition() Partition { return p.header.partition() }
+
+// Path returns the artifact file backing the partial ("" when it was
+// executed without one).
+func (p *Partial) Path() string { return p.path }
+
+// ResumedTrials returns the number of trials restored from a
+// pre-existing artifact rather than executed.
+func (p *Partial) ResumedTrials() int { return p.resumed }
+
+// Shards returns the sorted indices of the completed shards.
+func (p *Partial) Shards() []int {
+	out := make([]int, 0, len(p.counters))
+	for i := range p.counters {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// DoneTrials returns the number of trials covered by completed shards.
+func (p *Partial) DoneTrials() int {
+	done := 0
+	for i := range p.counters {
+		lo, hi := p.shardSpan(i)
+		done += hi - lo
+	}
+	return done
+}
+
+func (p *Partial) shardSpan(idx int) (lo, hi int) {
+	return shardSpan(idx, p.header.ShardSize, p.header.Trials)
+}
+
+// has reports whether shard idx is complete in this partial.
+func (p *Partial) has(idx int) bool {
+	_, ok := p.counters[idx]
+	return ok
+}
+
+// load returns the full record of one completed shard, re-reading it
+// from the artifact when it was spilled.
+func (p *Partial) load(idx int) (*shardRecord, error) {
+	if rec, ok := p.mem[idx]; ok {
+		return rec, nil
+	}
+	loc, ok := p.loc[idx]
+	if !ok {
+		return nil, fmt.Errorf("campaign: partial %s has no shard %d", describePartial(p), idx)
+	}
+	if p.file == nil {
+		f, err := os.Open(p.path)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: reopen partial: %w", err)
+		}
+		p.file = f
+	}
+	buf := make([]byte, loc[1])
+	if _, err := p.file.ReadAt(buf, loc[0]); err != nil {
+		return nil, fmt.Errorf("campaign: read partial %s shard %d: %w", p.path, idx, err)
+	}
+	var rec shardRecord
+	if err := json.Unmarshal(buf, &rec); err != nil {
+		return nil, fmt.Errorf("campaign: parse partial %s shard %d: %w", p.path, idx, err)
+	}
+	if rec.Index != idx {
+		return nil, fmt.Errorf("campaign: partial %s record at offset %d is shard %d, want %d", p.path, loc[0], rec.Index, idx)
+	}
+	return &rec, nil
+}
+
+// Close releases the artifact read handle (a no-op for in-memory
+// partials). The Partial must not be used afterwards.
+func (p *Partial) Close() error {
+	if p.file == nil {
+		return nil
+	}
+	err := p.file.Close()
+	p.file = nil
+	return err
+}
+
+// newMemPartial builds an empty artifact-less partial for a plan.
+func newMemPartial(plan *Plan) *Partial {
+	return &Partial{
+		header:   plan.header(),
+		counters: make(map[int]map[string]int64),
+		mem:      make(map[int]*shardRecord),
+	}
+}
+
+// record stores a completed shard in memory.
+func (p *Partial) record(rec *shardRecord) {
+	p.counters[rec.Index] = rec.Counters
+	if p.mem != nil {
+		p.mem[rec.Index] = rec
+	}
+}
+
+// OpenPartial reads a partial-result artifact (version 2, or a legacy
+// version-1 checkpoint, which loads as partition 0/1 with identical
+// shard contents) for merging. A version-2 file keeps only per-shard
+// counters resident; samples are re-read on demand.
+func OpenPartial(path string) (*Partial, error) {
+	p, _, err := readPartial(path)
+	if err != nil {
+		return nil, err
+	}
+	if p == nil {
+		return nil, fmt.Errorf("campaign: partial %s does not exist", path)
+	}
+	return p, nil
+}
+
+// readPartial loads an artifact in either format. It returns the
+// partial, the byte offset at which a version-2 file's next append
+// belongs (the end of the last complete record — a torn tail is
+// excluded), and nil, nil, nil for a missing file. Version-1 files
+// return appendAt < 0 (they must be rewritten before appending).
+func readPartial(path string) (*Partial, int64, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("campaign: read partial: %w", err)
+	}
+	defer f.Close()
+
+	br := bufio.NewReaderSize(f, 1<<16)
+	first, err := br.ReadBytes('\n')
+	if err != nil && err != io.EOF {
+		return nil, 0, fmt.Errorf("campaign: read partial %s: %w", path, err)
+	}
+	trimmed := bytes.TrimSpace(first)
+	if len(trimmed) == 0 {
+		return nil, 0, fmt.Errorf("campaign: partial %s is empty", path)
+	}
+
+	var header partialHeader
+	if uerr := json.Unmarshal(trimmed, &header); uerr != nil {
+		return nil, 0, fmt.Errorf("campaign: parse partial %s: %v", path, uerr)
+	}
+	if header.Version == 0 {
+		return nil, 0, fmt.Errorf("campaign: partial %s has no version field", path)
+	}
+	switch header.Version {
+	case partialVersionLegacy:
+		// The whole file is one version-1 JSON object; the "header" we
+		// just parsed is the object itself (field names overlap), but
+		// re-read it as the legacy schema to get the shards.
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil, 0, fmt.Errorf("campaign: read partial: %w", rerr)
+		}
+		var cp legacyCheckpoint
+		if uerr := json.Unmarshal(data, &cp); uerr != nil {
+			return nil, 0, fmt.Errorf("campaign: parse checkpoint %s: %w", path, uerr)
+		}
+		p := &Partial{
+			header: partialHeader{
+				Version:        partialVersion,
+				Scenario:       cp.Scenario,
+				Trials:         cp.Trials,
+				ShardSize:      cp.ShardSize,
+				PartitionIndex: 0,
+				PartitionCount: 1,
+			},
+			counters: make(map[int]map[string]int64),
+			mem:      make(map[int]*shardRecord),
+			path:     path,
+		}
+		numShards := p.header.numShards()
+		for i := range cp.Shards {
+			rec := cp.Shards[i]
+			if rec.Index < 0 || rec.Index >= numShards {
+				return nil, 0, fmt.Errorf("campaign: checkpoint %s has out-of-range shard %d", path, rec.Index)
+			}
+			if rec.Counters == nil {
+				rec.Counters = make(map[string]int64)
+			}
+			p.record(&rec)
+		}
+		return p, -1, nil
+
+	case partialVersion:
+		if header.Trials <= 0 || header.ShardSize <= 0 {
+			return nil, 0, fmt.Errorf("campaign: partial %s has invalid geometry (%d trials, shard %d)", path, header.Trials, header.ShardSize)
+		}
+		if err := header.partition().validate(); err != nil {
+			return nil, 0, fmt.Errorf("campaign: partial %s: %w", path, err)
+		}
+		p := &Partial{
+			header:   header,
+			counters: make(map[int]map[string]int64),
+			loc:      make(map[int][2]int64),
+			path:     path,
+		}
+		numShards := header.numShards()
+		offset := int64(len(first))
+		appendAt := offset
+		for {
+			line, rerr := br.ReadBytes('\n')
+			if rerr != nil && rerr != io.EOF {
+				return nil, 0, fmt.Errorf("campaign: read partial %s: %w", path, rerr)
+			}
+			complete := len(line) > 0 && line[len(line)-1] == '\n'
+			if len(bytes.TrimSpace(line)) > 0 {
+				var rec shardRecord
+				if uerr := json.Unmarshal(line, &rec); uerr != nil {
+					if complete {
+						return nil, 0, fmt.Errorf("campaign: parse partial %s at offset %d: %w", path, offset, uerr)
+					}
+					// Torn tail from a crash mid-append: drop it; the
+					// executor recomputes the shard.
+				} else if rec.Index < 0 || rec.Index >= numShards {
+					return nil, 0, fmt.Errorf("campaign: partial %s has out-of-range shard %d", path, rec.Index)
+				} else if complete && !p.has(rec.Index) {
+					if rec.Counters == nil {
+						rec.Counters = make(map[string]int64)
+					}
+					p.counters[rec.Index] = rec.Counters
+					p.loc[rec.Index] = [2]int64{offset, int64(len(line))}
+				}
+			}
+			offset += int64(len(line))
+			if complete {
+				appendAt = offset
+			}
+			if rerr == io.EOF {
+				break
+			}
+		}
+		return p, appendAt, nil
+	}
+	return nil, 0, fmt.Errorf("campaign: partial %s has version %d, want %d", path, header.Version, partialVersion)
+}
+
+// partialAppender appends shard records to a version-2 artifact.
+type partialAppender struct {
+	f      *os.File
+	path   string
+	offset int64
+}
+
+// createPartialFile writes a fresh version-2 artifact holding the
+// header and the given records (used both for new artifacts and for
+// migrating a version-1 checkpoint), atomically via rename, and
+// returns an appender positioned at its end. The records' file
+// locations are recorded into loc.
+func createPartialFile(path string, header partialHeader, records []*shardRecord, loc map[int][2]int64) (*partialAppender, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: partial dir: %w", err)
+	}
+	var buf bytes.Buffer
+	head, err := json.Marshal(header)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: encode partial header: %w", err)
+	}
+	buf.Write(head)
+	buf.WriteByte('\n')
+	for _, rec := range records {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: encode shard %d: %w", rec.Index, err)
+		}
+		loc[rec.Index] = [2]int64{int64(buf.Len()), int64(len(line) + 1)}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return nil, fmt.Errorf("campaign: write partial: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return nil, fmt.Errorf("campaign: commit partial: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: reopen partial: %w", err)
+	}
+	if _, err := f.Seek(int64(buf.Len()), io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("campaign: seek partial: %w", err)
+	}
+	return &partialAppender{f: f, path: path, offset: int64(buf.Len())}, nil
+}
+
+// openAppender opens an existing version-2 artifact for appending at
+// the given offset, truncating any torn tail beyond it.
+func openAppender(path string, at int64) (*partialAppender, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: open partial: %w", err)
+	}
+	if err := f.Truncate(at); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("campaign: truncate partial tail: %w", err)
+	}
+	if _, err := f.Seek(at, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("campaign: seek partial: %w", err)
+	}
+	return &partialAppender{f: f, path: path, offset: at}, nil
+}
+
+// append writes one shard record and returns its file location. On a
+// failed (possibly partial) write it truncates the file back to the
+// last good record, so the artifact stays parseable and resumable
+// even after a transient I/O error, and a retried append lands at the
+// right offset.
+func (a *partialAppender) append(rec *shardRecord) ([2]int64, error) {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return [2]int64{}, fmt.Errorf("campaign: encode shard %d: %w", rec.Index, err)
+	}
+	line = append(line, '\n')
+	if _, err := a.f.Write(line); err != nil {
+		a.f.Truncate(a.offset)
+		a.f.Seek(a.offset, io.SeekStart)
+		return [2]int64{}, fmt.Errorf("campaign: append shard %d: %w", rec.Index, err)
+	}
+	loc := [2]int64{a.offset, int64(len(line))}
+	a.offset += int64(len(line))
+	return loc, nil
+}
+
+func (a *partialAppender) close() error {
+	if a.f == nil {
+		return nil
+	}
+	err := a.f.Close()
+	a.f = nil
+	return err
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package campaign
+
+// raceEnabled skips heap-bound measurements under the race detector,
+// whose instrumentation changes both heap accounting and throughput.
+const raceEnabled = true

@@ -12,6 +12,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/memsim"
 	"repro/internal/pagesim"
+	"repro/internal/textplot"
 )
 
 // maxMatrixCells bounds one entry's expansion so a typo'd value list
@@ -37,11 +38,11 @@ type MatrixAssignment struct {
 func (f *File) Expand() error {
 	var out []Entry
 	for _, e := range f.Scenarios {
-		if len(e.Matrix) == 0 {
+		if len(e.Matrix) == 0 && e.Replicates == 0 {
 			out = append(out, e)
 			continue
 		}
-		cells, err := expandEntry(e)
+		cells, err := expandEntry(e, f.Seed)
 		if err != nil {
 			return err
 		}
@@ -51,11 +52,57 @@ func (f *File) Expand() error {
 	return nil
 }
 
-// expandEntry builds the cross-product cells of one matrix entry.
-func expandEntry(e Entry) ([]Entry, error) {
+// seededKinds lists the kinds whose params accept a "seed" (the kinds
+// Replicates can sweep).
+var seededKinds = map[string]bool{"memsim": true, "mbusim": true, "interleave": true, "array": true}
+
+// expandEntry builds the cross-product cells of one matrix and/or
+// replicates entry.
+func expandEntry(e Entry, fileSeed int64) ([]Entry, error) {
 	if e.Name == "" {
 		return nil, fmt.Errorf("spec: matrix entry has no name")
 	}
+	base, err := paramsMap(e)
+	if err != nil {
+		return nil, err
+	}
+	if e.Replicates < 0 {
+		return nil, fmt.Errorf("spec: scenario %q has negative replicates %d", e.Name, e.Replicates)
+	}
+	if e.Replicates > 0 {
+		// Replicates become a synthesized "seed" axis: base..base+N-1,
+		// base taken from (and removed from) params, or the file seed.
+		if !seededKinds[e.Kind] {
+			return nil, fmt.Errorf("spec: scenario %q: replicates requires a seeded kind, not %q", e.Name, e.Kind)
+		}
+		if e.Replicates > maxMatrixCells {
+			// Reject before allocating the seed slice: a fat-fingered
+			// replicate count must fail like any runaway matrix, not
+			// OOM building its value list.
+			return nil, fmt.Errorf("spec: matrix entry %q expands to more than %d scenarios", e.Name, maxMatrixCells)
+		}
+		if _, dup := e.Matrix["seed"]; dup {
+			return nil, fmt.Errorf("spec: scenario %q sweeps seed in both replicates and matrix", e.Name)
+		}
+		baseSeed := fileSeed
+		if raw, ok := base["seed"]; ok {
+			if err := json.Unmarshal(raw, &baseSeed); err != nil {
+				return nil, fmt.Errorf("spec: scenario %q params seed: %w", e.Name, err)
+			}
+			delete(base, "seed")
+		}
+		seeds := make([]json.RawMessage, e.Replicates)
+		for r := range seeds {
+			seeds[r] = json.RawMessage(fmt.Sprintf("%d", baseSeed+int64(r)))
+		}
+		matrix := make(map[string][]json.RawMessage, len(e.Matrix)+1)
+		for k, v := range e.Matrix {
+			matrix[k] = v
+		}
+		matrix["seed"] = seeds
+		e.Matrix = matrix
+	}
+
 	keys := make([]string, 0, len(e.Matrix))
 	total := 1
 	for k, vals := range e.Matrix {
@@ -72,10 +119,6 @@ func expandEntry(e Entry) ([]Entry, error) {
 	}
 	sort.Strings(keys)
 
-	base, err := paramsMap(e)
-	if err != nil {
-		return nil, err
-	}
 	for _, k := range keys {
 		if _, dup := base[k]; dup {
 			return nil, fmt.Errorf("spec: matrix entry %q sweeps %q, which params also sets", e.Name, k)
@@ -88,6 +131,7 @@ func expandEntry(e Entry) ([]Entry, error) {
 	for {
 		cell := e
 		cell.Matrix = nil
+		cell.Replicates = 0
 		cell.MatrixOrigin = e.Name
 		cell.MatrixParams = make([]MatrixAssignment, len(keys))
 		var suffix strings.Builder
@@ -262,4 +306,83 @@ func RenderGrid(w io.Writer, cells []GridCell) error {
 		fmt.Fprintln(tw, strings.Join(row, "\t"))
 	}
 	return tw.Flush()
+}
+
+// RenderGridHeatmap draws one matrix group's headline counter
+// fraction as a textplot heatmap alongside the grid table: columns
+// sweep the last (fastest-varying) matrix key, rows sweep the
+// remaining keys in the grid's odometer order, so the heatmap is the
+// grid table folded into an area plot. Groups with no headline
+// counter or no swept key render nothing (the table already says
+// everything).
+func RenderGridHeatmap(w io.Writer, cells []GridCell) error {
+	if len(cells) == 0 {
+		return fmt.Errorf("spec: empty grid")
+	}
+	first := cells[0].Built.Entry
+	counters := headlineCounters(first)
+	if len(counters) == 0 || len(first.MatrixParams) == 0 {
+		return nil
+	}
+	counter := counters[0]
+	keys := first.MatrixParams
+
+	// Columns: the distinct values of the last key, in order of first
+	// appearance (= sweep order).
+	var xTicks []string
+	seenX := map[string]bool{}
+	for _, c := range cells {
+		e := c.Built.Entry
+		if e.MatrixOrigin != first.MatrixOrigin {
+			return fmt.Errorf("spec: grid mixes origins %q and %q", first.MatrixOrigin, e.MatrixOrigin)
+		}
+		if len(e.MatrixParams) != len(keys) {
+			return fmt.Errorf("spec: cell %q has %d assignments, want %d", e.Name, len(e.MatrixParams), len(keys))
+		}
+		if v := e.MatrixParams[len(keys)-1].Value; !seenX[v] {
+			seenX[v] = true
+			xTicks = append(xTicks, v)
+		}
+	}
+	if len(cells)%len(xTicks) != 0 {
+		// An incomplete grid (some cells' campaigns failed — already
+		// reported by the caller) has no rectangular layout to shade;
+		// skip the heatmap rather than pile a confusing structural
+		// error on top of the real per-cell failure. The grid table
+		// above already shows the surviving cells.
+		return nil
+	}
+
+	var rowKeys []string
+	for _, a := range keys[:len(keys)-1] {
+		rowKeys = append(rowKeys, a.Key)
+	}
+	h := &textplot.Heatmap{
+		Title:  fmt.Sprintf("matrix %s: %s fraction", first.MatrixOrigin, counter),
+		XLabel: keys[len(keys)-1].Key,
+		YLabel: strings.Join(rowKeys, ","),
+		XTicks: xTicks,
+	}
+	nCols := len(xTicks)
+	for r := 0; r < len(cells)/nCols; r++ {
+		rowCells := cells[r*nCols : (r+1)*nCols]
+		var label []string
+		for _, a := range rowCells[0].Built.Entry.MatrixParams[:len(keys)-1] {
+			label = append(label, a.Value)
+		}
+		row := make([]float64, nCols)
+		for c, cell := range rowCells {
+			if got := cell.Built.Entry.MatrixParams[len(keys)-1].Value; got != xTicks[c] {
+				// Same as the modulus check above: a failed cell can
+				// shift the survivors out of odometer order even when
+				// the count still divides evenly.
+				return nil
+			}
+			row[c] = cell.Result.Fraction(counter)
+		}
+		h.YTicks = append(h.YTicks, strings.Join(label, ","))
+		h.Values = append(h.Values, row)
+	}
+	_, err := io.WriteString(w, h.Render())
+	return err
 }

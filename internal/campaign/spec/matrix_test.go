@@ -126,6 +126,106 @@ func TestMatrixValidation(t *testing.T) {
 	}
 }
 
+// TestReplicatesExpandToSeedCells: "replicates": N becomes a
+// synthesized seed axis — N identical configurations under
+// independent RNG streams whose spread measures the CI of the CI.
+func TestReplicatesExpandToSeedCells(t *testing.T) {
+	doc := `{"seed": 40, "scenarios": [{
+	  "name": "rep", "kind": "interleave", "replicates": 3,
+	  "params": {"depth": 2, "burst_per_kilobit_hour": 0.5, "burst_bits": 9,
+	             "horizon_hours": 4, "trials": 200},
+	  "expect": [{"counter": "single_burst_losses", "max_fraction": 0}]
+	}]}`
+	f, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Scenarios) != 3 {
+		t.Fatalf("expanded to %d cells, want 3", len(f.Scenarios))
+	}
+	for r, e := range f.Scenarios {
+		want := fmt.Sprintf("rep/seed=%d", 40+r)
+		if e.Name != want {
+			t.Errorf("cell %d named %q, want %q", r, e.Name, want)
+		}
+		if e.MatrixOrigin != "rep" || len(e.Expect) != 1 {
+			t.Errorf("cell %q lost its template: origin %q, %d expectations", e.Name, e.MatrixOrigin, len(e.Expect))
+		}
+	}
+	built, err := f.BuildAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The replicate cells must run distinct RNG streams but identical
+	// configurations: same trial counts, different results.
+	var fractions []float64
+	for _, b := range built {
+		cres, err := campaign.Run(b.Scenario, b.EngineConfig(f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cres.Trials != 200 {
+			t.Errorf("%s ran %d trials", b.Entry.Name, cres.Trials)
+		}
+		fractions = append(fractions, cres.Fraction("page_loss"))
+	}
+	if fractions[0] == fractions[1] && fractions[1] == fractions[2] {
+		t.Errorf("replicates produced identical estimates %v; seeds not independent", fractions)
+	}
+
+	// Replicates compose with a matrix (seed becomes one more axis)...
+	comp := `{"scenarios": [{
+	  "name": "grid", "kind": "interleave", "replicates": 2,
+	  "params": {"trials": 10, "horizon_hours": 1},
+	  "matrix": {"depth": [1, 2]}
+	}]}`
+	fc, err := Parse([]byte(comp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fc.Scenarios) != 4 {
+		t.Fatalf("matrix x replicates expanded to %d cells, want 4", len(fc.Scenarios))
+	}
+	if got := fc.Scenarios[0].Name; got != "grid/depth=1,seed=0" {
+		t.Errorf("first composed cell %q", got)
+	}
+
+	// ...and the params seed, when set, is the replicate base.
+	seeded := `{"seed": 9, "scenarios": [{
+	  "name": "s", "kind": "mbusim", "replicates": 2,
+	  "params": {"events_per_kilobit": 1, "burst_bits": 4, "trials": 10, "seed": 100}
+	}]}`
+	fs, err := Parse([]byte(seeded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Scenarios[1].Name; got != "s/seed=101" {
+		t.Errorf("params-seeded replicate cell %q, want s/seed=101", got)
+	}
+}
+
+func TestReplicatesValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"unseeded kind", `{"scenarios":[{"name":"a","kind":"bercurve","replicates":2,
+			"params":{"hours":24}}]}`},
+		{"negative", `{"scenarios":[{"name":"a","kind":"memsim","replicates":-1,
+			"params":{"trials":10,"horizon_hours":1}}]}`},
+		{"seed swept twice", `{"scenarios":[{"name":"a","kind":"memsim","replicates":2,
+			"params":{"trials":10,"horizon_hours":1},"matrix":{"seed":[1,2]}}]}`},
+		// Must be rejected before the seed list is allocated, not OOM.
+		{"runaway replicates", `{"scenarios":[{"name":"a","kind":"memsim","replicates":2000000000,
+			"params":{"trials":10,"horizon_hours":1}}]}`},
+	}
+	for _, c := range cases {
+		if _, err := Parse([]byte(c.doc)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
 // TestMatrixNullParams: "params": null must expand like absent
 // params, not panic on a nil map.
 func TestMatrixNullParams(t *testing.T) {
@@ -240,6 +340,71 @@ func TestRenderGrid(t *testing.T) {
 	mixed := []GridCell{cells[0], {Built: &Built{Entry: Entry{MatrixOrigin: "other"}}, Result: cells[1].Result}}
 	if err := RenderGrid(&buf, mixed); err == nil {
 		t.Error("mixed-origin grid accepted")
+	}
+}
+
+// TestRenderGridHeatmap folds the 12-cell grid into a heatmap: rows
+// sweep (depth, n), columns sweep scrub_period_hours, shading the
+// page-loss fraction.
+func TestRenderGridHeatmap(t *testing.T) {
+	f, err := Parse([]byte(matrixDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := f.BuildAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cells []GridCell
+	for _, b := range built {
+		cres, err := campaign.Run(b.Scenario, b.EngineConfig(f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells = append(cells, GridCell{Built: b, Result: cres})
+	}
+	var buf bytes.Buffer
+	if err := RenderGridHeatmap(&buf, cells); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"matrix page-sweep: page_loss fraction",
+		"depth,n",               // row axis: the two slow keys
+		"(scrub_period_hours)",  // column axis: the fastest key
+		"2,18", "4,20", "scale", // row labels and legend
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("heatmap missing %q:\n%s", want, out)
+		}
+	}
+	// 4 rows of (depth, n) over 3 scrub columns.
+	if lines := strings.Split(strings.TrimSpace(out), "\n"); len(lines) != 9 {
+		t.Errorf("heatmap has %d lines, want 9:\n%s", len(lines), out)
+	}
+
+	if err := RenderGridHeatmap(&buf, nil); err == nil {
+		t.Error("empty grid accepted")
+	}
+	mixed := []GridCell{cells[0], {Built: &Built{Entry: Entry{MatrixOrigin: "other", MatrixParams: cells[1].Built.Entry.MatrixParams}}, Result: cells[1].Result}}
+	if err := RenderGridHeatmap(&buf, mixed); err == nil {
+		t.Error("mixed-origin grid accepted")
+	}
+
+	// An incomplete grid (a cell's campaign failed and was dropped)
+	// renders nothing and raises no structural error — the per-cell
+	// failure was already reported.
+	buf.Reset()
+	if err := RenderGridHeatmap(&buf, cells[1:]); err != nil || buf.Len() != 0 {
+		t.Errorf("incomplete grid rendered %q, err %v", buf.String(), err)
+	}
+
+	// A grid whose kind has no headline counter renders nothing.
+	none := []GridCell{{Built: &Built{Entry: Entry{MatrixOrigin: "x", Kind: "bercurve",
+		MatrixParams: []MatrixAssignment{{Key: "n", Value: "18"}}}}, Result: cells[0].Result}}
+	buf.Reset()
+	if err := RenderGridHeatmap(&buf, none); err != nil || buf.Len() != 0 {
+		t.Errorf("counter-less grid rendered %q, err %v", buf.String(), err)
 	}
 }
 

@@ -1,0 +1,163 @@
+package spec
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+)
+
+// everyKindDoc is one small scenario of every kind, sized so the
+// whole file runs in a few seconds.
+const everyKindDoc = `{
+  "seed": 3,
+  "scenarios": [
+    {"name": "mission", "kind": "memsim",
+     "params": {"duplex": true, "lambda_bit_per_hour": 6e-4,
+                "lambda_symbol_per_hour": 2e-4, "scrub_period_hours": 4,
+                "horizon_hours": 24, "trials": 400}},
+    {"name": "mbu", "kind": "mbusim",
+     "params": {"events_per_kilobit": 4, "burst_bits": 6, "trials": 400}},
+    {"name": "ber", "kind": "bercurve",
+     "params": {"arrangement": "duplex", "seu_per_bit_day": 1.7e-5,
+                "scrub_seconds": 3600, "hours": 24, "points": 7}},
+    {"name": "design", "kind": "tradeoff",
+     "params": {"seu_per_bit_day": 1.7e-5, "perm_per_symbol_day": 1e-7,
+                "scrub_seconds": 3600, "hours": 24,
+                "max_redundancy": 4, "duplex_max_redundancy": 2}},
+    {"name": "page", "kind": "interleave",
+     "params": {"depth": 2, "lambda_bit_per_hour": 2e-5,
+                "burst_per_kilobit_hour": 0.05, "burst_bits": 9,
+                "horizon_hours": 24, "trials": 400}},
+    {"name": "memory", "kind": "array",
+     "params": {"data_bytes": 65536, "seu_per_bit_day": 1.44e-2,
+                "perm_per_symbol_day": 4.8e-3, "hours": 24, "trials": 400,
+                "validate_analytic": false}},
+    {"name": "tables", "kind": "experiments",
+     "params": {"ids": ["tbl-td", "tbl-area"]}}
+  ]
+}`
+
+// TestEveryKindPartitionsMergeIdentically is the spec-level
+// determinism law: for every scenario kind, running the campaign as
+// three partitioned processes and merging the partial artifacts
+// reproduces the single-process result bit for bit.
+func TestEveryKindPartitionsMergeIdentically(t *testing.T) {
+	f, err := Parse([]byte(everyKindDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := f.BuildAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(built) != 7 {
+		t.Fatalf("built %d scenarios, want 7", len(built))
+	}
+	const parts = 3
+	for _, b := range built {
+		want, err := campaign.Run(b.Scenario, b.EngineConfig(f))
+		if err != nil {
+			t.Fatalf("%s: %v", b.Entry.Name, err)
+		}
+		dir := t.TempDir()
+		for i := 0; i < parts; i++ {
+			partial, err := b.RunPartition(f, campaign.Partition{Index: i, Count: parts}, dir)
+			if err != nil {
+				t.Fatalf("%s partition %d: %v", b.Entry.Name, i, err)
+			}
+			partial.Close()
+		}
+		got, err := b.MergePartials(f, dir, nil)
+		if err != nil {
+			t.Fatalf("%s: merge: %v", b.Entry.Name, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s (%s): 3-way partitioned merge diverged:\nwant %+v\ngot  %+v",
+				b.Entry.Name, b.Entry.Kind, want, got)
+		}
+	}
+}
+
+// TestPartitionedEarlyStopDecidedAtMerge: an entry with a stop rule
+// over-runs in each partition and the merge lands on the
+// single-process stopping point.
+func TestPartitionedEarlyStopDecidedAtMerge(t *testing.T) {
+	doc := `{"seed": 5, "scenarios": [{
+	  "name": "stopper", "kind": "memsim",
+	  "params": {"duplex": false, "lambda_bit_per_hour": 6e-4,
+	             "lambda_symbol_per_hour": 2e-4, "horizon_hours": 24,
+	             "trials": 20000},
+	  "stop": {"counter": "capability_exceeded", "rel_half_width": 0.05,
+	           "min_trials": 200}
+	}]}`
+	f, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.ShardSize = 128
+	built, err := f.BuildAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := built[0]
+	want, err := campaign.Run(b.Scenario, b.EngineConfig(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.EarlyStopped {
+		t.Fatal("single-process campaign did not stop early")
+	}
+
+	dir := t.TempDir()
+	overran := false
+	for i := 0; i < 3; i++ {
+		partial, err := b.RunPartition(f, campaign.Partition{Index: i, Count: 3}, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if partial.DoneTrials() > 0 && i > 0 {
+			overran = true
+		}
+		partial.Close()
+	}
+	if !overran {
+		t.Fatal("later partitions computed nothing; stop was not deferred to merge")
+	}
+	got, err := b.MergePartials(f, dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("partitioned early-stop merge diverged:\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+func TestMergePartialsMissingArtifacts(t *testing.T) {
+	f, err := Parse([]byte(everyKindDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := f.BuildAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := built[0].MergePartials(f, t.TempDir(), nil); err == nil ||
+		!strings.Contains(err.Error(), "no partial artifacts") {
+		t.Errorf("merge over an empty directory: %v", err)
+	}
+}
+
+func TestPartialPathsDistinct(t *testing.T) {
+	e := Entry{Name: "page-sweep/depth=2,n=18"}
+	e.MatrixOrigin = "page-sweep"
+	a := e.PartialPath("parts", campaign.Partition{Index: 0, Count: 3})
+	b := e.PartialPath("parts", campaign.Partition{Index: 1, Count: 3})
+	if a == b {
+		t.Errorf("partition paths collide: %q", a)
+	}
+	if !strings.Contains(a, "part0of3") || !strings.Contains(b, "part1of3") {
+		t.Errorf("partition paths missing slice markers: %q, %q", a, b)
+	}
+}

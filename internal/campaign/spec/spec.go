@@ -50,7 +50,11 @@
 // false). Each entry may carry a checkpoint path, an early-stop rule
 // and expectations — tolerance bands on counter fractions that turn a
 // campaign into a pass/fail gate (the nightly CI workflow uses this
-// to detect probability drift).
+// to detect probability drift). The burst-injecting kinds ("mbusim",
+// "interleave") take burst_dist/burst_mean_bits to draw MBU lengths
+// from a distribution ("fixed" default; "geometric" with the given
+// mean, capped at the image — see internal/burstlen) instead of a
+// constant burst_bits.
 //
 // An entry with a "matrix" field is a sweep template: File.Expand
 // (run automatically by Parse and BuildAll) replaces it with the full
@@ -58,8 +62,19 @@
 // named <name>/k1=v1,k2=v2,... with keys sorted — each inheriting the
 // entry's remaining params, stop rule and expectation bands, so one
 // twelve-line entry expresses an RS(n,k) x interleaving-depth x
-// scrub-interval grid. RenderGrid formats a matrix group's results as
-// one table.
+// scrub-interval grid. A "replicates": N field adds a synthesized
+// "seed" axis — N independent RNG replicates of the identical
+// configuration, whose spread measures the Monte Carlo confidence
+// interval itself (seeded kinds only; composes with matrix).
+// RenderGrid formats a matrix group's results as one table and
+// RenderGridHeatmap shades its headline counter fraction per cell.
+//
+// Partitioned campaigns: every entry's trial range can be split
+// across processes with Built.RunPartition (one deterministic slice
+// per process, each writing a self-describing partial artifact) and
+// reassembled with Built.MergePartials into the Result a
+// single-process run would produce, bit for bit — cmd/campaign's
+// -partition/-merge flags drive exactly this path.
 package spec
 
 import (
@@ -110,6 +125,16 @@ type Entry struct {
 	// shared defaults from Params, the entry's Stop and Expect applied
 	// to every cell). A matrix key must not also appear in Params.
 	Matrix map[string][]json.RawMessage `json:"matrix,omitempty"`
+
+	// Replicates expands the entry into N seed-replicate cells by
+	// synthesizing a "seed" matrix axis sweeping base..base+N-1 (base
+	// is the entry's params seed, or the file seed): every cell runs
+	// the identical configuration under an independent RNG stream, so
+	// the spread of the per-cell estimates measures the Monte Carlo
+	// confidence interval itself (a CI of the CI). Composes with
+	// Matrix (the seed axis joins the cross-product) and requires a
+	// seeded kind (memsim, mbusim, interleave, array).
+	Replicates int `json:"replicates,omitempty"`
 
 	// MatrixOrigin ("" for plain entries) names the matrix entry this
 	// cell was expanded from; MatrixParams holds the cell's sweep
@@ -338,10 +363,14 @@ func (p MemsimParams) MemsimConfig(defaultSeed int64) (memsim.Config, error) {
 }
 
 // MBUParams is the "mbusim" kind: burst injection through the default
-// protection-scheme comparison set.
+// protection-scheme comparison set. burst_dist selects the length
+// distribution ("fixed" default, or "geometric" with mean
+// burst_mean_bits capped at each system's image).
 type MBUParams struct {
 	EventsPerKilobit float64 `json:"events_per_kilobit"`
 	BurstBits        int     `json:"burst_bits"`
+	BurstDist        string  `json:"burst_dist,omitempty"`
+	BurstMeanBits    float64 `json:"burst_mean_bits,omitempty"`
 	Trials           int     `json:"trials"`
 	Seed             *int64  `json:"seed,omitempty"`
 }
@@ -364,6 +393,8 @@ type InterleaveParams struct {
 	LambdaBit       float64 `json:"lambda_bit_per_hour"`
 	BurstPerKilobit float64 `json:"burst_per_kilobit_hour"`
 	BurstBits       int     `json:"burst_bits"`
+	BurstDist       string  `json:"burst_dist,omitempty"`
+	BurstMeanBits   float64 `json:"burst_mean_bits,omitempty"`
 	LambdaColumn    float64 `json:"lambda_column_per_hour"`
 	ScrubHours      float64 `json:"scrub_period_hours"`
 	ExpScrub        bool    `json:"exponential_scrub"`
@@ -392,6 +423,8 @@ func (p InterleaveParams) PagesimConfig(defaultSeed int64) pagesim.Config {
 		LambdaBit:        p.LambdaBit,
 		BurstPerKilobit:  p.BurstPerKilobit,
 		BurstBits:        p.BurstBits,
+		BurstDist:        p.BurstDist,
+		BurstMeanBits:    p.BurstMeanBits,
 		LambdaColumn:     p.LambdaColumn,
 		ScrubPeriod:      p.ScrubHours,
 		ExponentialScrub: p.ExpScrub,
@@ -493,6 +526,8 @@ func Build(e Entry, f *File) (*Built, error) {
 		cfg := mbusim.Config{
 			EventsPerKilobit: p.EventsPerKilobit,
 			BurstBits:        p.BurstBits,
+			BurstDist:        p.BurstDist,
+			BurstMeanBits:    p.BurstMeanBits,
 			Trials:           p.Trials,
 			Seed:             seed,
 		}
@@ -704,8 +739,12 @@ func renderInterleave(w io.Writer, cfg pagesim.Config, cres *campaign.Result) er
 		fmt.Fprintf(w, "  [%d resumed]", cres.ResumedTrials)
 	}
 	fmt.Fprintln(w)
-	fmt.Fprintf(w, "faults injected: %d SEUs, %d bursts (%d bits each), %d stuck columns\n",
-		res.SEUs, res.Bursts, cfg.BurstBits, res.StuckColumns)
+	burstDesc := fmt.Sprintf("%d bits each", cfg.BurstBits)
+	if cfg.BurstDist == "geometric" {
+		burstDesc = fmt.Sprintf("geometric, mean %g bits", cfg.BurstMeanBits)
+	}
+	fmt.Fprintf(w, "faults injected: %d SEUs, %d bursts (%s), %d stuck columns\n",
+		res.SEUs, res.Bursts, burstDesc, res.StuckColumns)
 	if res.ScrubOps > 0 {
 		fmt.Fprintf(w, "scrubs:          %d passes\n", res.ScrubOps)
 	}

@@ -190,27 +190,70 @@ func WriteCSV(w io.Writer, res *Result) error {
 	return cw.Error()
 }
 
-// WriteCampaignCSV emits a raw campaign result as CSV: one block of
-// counter rows followed by one row per sample.
-func WriteCampaignCSV(w io.Writer, cres *campaign.Result) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"kind", "name", "trial", "x", "y"}); err != nil {
+// CampaignCSVStream writes the campaign CSV schema (one block of
+// counter rows followed by one row per sample) incrementally. It
+// implements campaign.Sink, so a streaming merge can feed it sample
+// by sample without ever materializing the sample list in memory —
+// the bounded-memory output path for million-sample campaigns. The
+// bytes produced are identical to WriteCampaignCSV's for the same
+// result (WriteCampaignCSV is itself built on this writer).
+type CampaignCSVStream struct {
+	cw *csv.Writer
+}
+
+// NewCampaignCSVStream wraps a writer; call Start, then Sample per
+// sample in trial order, then Flush.
+func NewCampaignCSVStream(w io.Writer) *CampaignCSVStream {
+	return &CampaignCSVStream{cw: csv.NewWriter(w)}
+}
+
+// Start implements campaign.Sink: it writes the header and the
+// counter block from the merged result (whose counters and trial
+// bookkeeping are final before any sample is streamed). The result's
+// Samples field is ignored — samples arrive through Sample.
+func (s *CampaignCSVStream) Start(cres *campaign.Result) error {
+	if err := s.cw.Write([]string{"kind", "name", "trial", "x", "y"}); err != nil {
 		return err
 	}
 	for _, name := range cres.CounterNames() {
-		if err := cw.Write([]string{"counter", name, "", "", strconv.FormatInt(cres.Counters[name], 10)}); err != nil {
+		if err := s.cw.Write([]string{"counter", name, "", "", strconv.FormatInt(cres.Counters[name], 10)}); err != nil {
 			return err
 		}
 	}
-	for _, s := range cres.Samples {
-		if err := cw.Write([]string{
-			"sample", s.Series, strconv.Itoa(s.Trial),
-			strconv.FormatFloat(s.X, 'g', -1, 64),
-			strconv.FormatFloat(s.Y, 'g', -1, 64),
-		}); err != nil {
+	return nil
+}
+
+// Sample implements campaign.Sink.
+func (s *CampaignCSVStream) Sample(sm campaign.Sample) error {
+	return s.cw.Write([]string{
+		"sample", sm.Series, strconv.Itoa(sm.Trial),
+		strconv.FormatFloat(sm.X, 'g', -1, 64),
+		strconv.FormatFloat(sm.Y, 'g', -1, 64),
+	})
+}
+
+// Note implements campaign.Sink; notes are not part of the campaign
+// CSV schema.
+func (s *CampaignCSVStream) Note(campaign.Note) error { return nil }
+
+// Flush drains the underlying csv writer and reports any deferred
+// write error.
+func (s *CampaignCSVStream) Flush() error {
+	s.cw.Flush()
+	return s.cw.Error()
+}
+
+// WriteCampaignCSV emits a raw campaign result as CSV: one block of
+// counter rows followed by one row per sample.
+func WriteCampaignCSV(w io.Writer, cres *campaign.Result) error {
+	s := NewCampaignCSVStream(w)
+	if err := s.Start(cres); err != nil {
+		return err
+	}
+	for _, sm := range cres.Samples {
+		if err := s.Sample(sm); err != nil {
 			return err
 		}
 	}
-	cw.Flush()
-	return cw.Error()
+	return s.Flush()
 }

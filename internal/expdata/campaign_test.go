@@ -126,6 +126,64 @@ func TestWriteCampaignCSV(t *testing.T) {
 	}
 }
 
+// TestStreamingCSVMatchesInMemory: the streaming writer fed sample by
+// sample from a merge Sink must produce byte-for-byte the CSV that
+// WriteCampaignCSV produces from the fully materialized result.
+func TestStreamingCSVMatchesInMemory(t *testing.T) {
+	// A real engine campaign (experiments carry samples with exotic
+	// values, including +Inf MTTDLs) exercises the full float
+	// formatting path.
+	var exps []Experiment
+	for _, id := range []string{"fig5", "tbl-td"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %q missing", id)
+		}
+		exps = append(exps, e)
+	}
+	scn, err := Scenario("stream-csv", exps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := campaign.NewPlan(scn, 1, campaign.Whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial, err := campaign.Execute(scn, plan, campaign.ExecConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer partial.Close()
+
+	inMemory, err := campaign.Merge([]*campaign.Partial{partial}, campaign.MergeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := WriteCampaignCSV(&want, inMemory); err != nil {
+		t.Fatal(err)
+	}
+
+	var got bytes.Buffer
+	stream := NewCampaignCSVStream(&got)
+	streamed, err := campaign.Merge([]*campaign.Partial{partial}, campaign.MergeConfig{Sink: stream})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if streamed.Samples != nil {
+		t.Error("streaming merge still materialized samples")
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatalf("streaming CSV differs from in-memory CSV:\nin-memory:\n%s\nstreamed:\n%s", want.String(), got.String())
+	}
+	if got.Len() == 0 || !strings.Contains(got.String(), "sample,") {
+		t.Fatalf("streamed CSV suspiciously empty:\n%s", got.String())
+	}
+}
+
 // TestRegistryMetaStamped: every experiment's Run output must carry
 // the registry's axis metadata (the single-source guarantee the
 // campaign reassembly relies on).

@@ -11,16 +11,23 @@
 // Each System stores the same 128-bit payload in its own layout;
 // campaigns inject Poisson-distributed burst events (rate proportional
 // to each system's stored size, so denser redundancy honestly costs
-// exposure) and measure the unrecovered fraction. Burst starts are
-// uniform over the placements at which the full burst fits the image,
-// so every event flips exactly Config.BurstBits stored bits — no
-// system gets a discount from bursts truncated at its image edge.
+// exposure) and measure the unrecovered fraction. Burst lengths come
+// from a configurable distribution (internal/burstlen): fixed at
+// Config.BurstBits, or geometric with mean Config.BurstMeanBits
+// capped at each system's image size. Burst starts are uniform over
+// the placements at which the full burst fits the image, so every
+// event flips exactly its sampled length — no system gets a discount
+// from bursts truncated at its image edge.
 //
 // Campaigns run on the internal/campaign engine: every trial draws
 // its burst pattern from a seed derived from (system, trial), so the
 // aggregate statistics are reproducible for a fixed Config.Seed
 // regardless of the worker count, and long campaigns inherit the
-// engine's checkpointing and early stopping.
+// engine's checkpointing and early stopping. Fixed-length campaigns
+// consume the exact RNG stream of earlier releases (length sampling
+// draws no randomness there), so existing fixed-burst numbers do not
+// move; geometric campaigns draw one extra uniform per event and are
+// a new stream by construction.
 package mbusim
 
 import (
@@ -29,6 +36,7 @@ import (
 	"math/rand"
 	"strings"
 
+	"repro/internal/burstlen"
 	"repro/internal/campaign"
 	"repro/internal/gf"
 	"repro/internal/hamming"
@@ -273,13 +281,25 @@ type Config struct {
 	// stored bits per trial; each system draws its own Poisson count
 	// scaled by its footprint.
 	EventsPerKilobit float64
-	// BurstBits is the length of each event's bit run.
+	// BurstBits is the length of each event's bit run under the
+	// default fixed distribution.
 	BurstBits int
-	Trials    int
-	Seed      int64
+	// BurstDist selects the burst-length distribution: "" or "fixed"
+	// (every event is BurstBits long) or "geometric" (lengths drawn
+	// with mean BurstMeanBits, capped at each system's image size).
+	BurstDist string
+	// BurstMeanBits is the geometric mean burst length (>= 1).
+	BurstMeanBits float64
+	Trials        int
+	Seed          int64
 	// Workers is the goroutine count for the campaign engine; 0 means
 	// GOMAXPROCS.
 	Workers int
+}
+
+// dist assembles the burst-length distribution the config selects.
+func (c Config) dist() burstlen.Dist {
+	return burstlen.Dist{Kind: c.BurstDist, Bits: c.BurstBits, MeanBits: c.BurstMeanBits}
 }
 
 // LostCounter and EventsCounter name the campaign counters recorded
@@ -292,10 +312,11 @@ func (c Config) Validate() error {
 	switch {
 	case c.EventsPerKilobit <= 0 || math.IsNaN(c.EventsPerKilobit):
 		return fmt.Errorf("mbusim: invalid event density %v", c.EventsPerKilobit)
-	case c.BurstBits <= 0:
-		return fmt.Errorf("mbusim: invalid burst length %d", c.BurstBits)
 	case c.Trials <= 0:
 		return fmt.Errorf("mbusim: need at least one trial")
+	}
+	if err := c.dist().Validate(); err != nil {
+		return fmt.Errorf("mbusim: %w", err)
 	}
 	return nil
 }
@@ -314,6 +335,7 @@ type SystemResult struct {
 // injects one independent burst pattern into every system.
 type scenario struct {
 	cfg     Config
+	dist    burstlen.Dist
 	systems []System
 	// lostKeys/eventsKeys cache counter names so the trial loop does
 	// no per-trial string concatenation.
@@ -329,13 +351,15 @@ func Scenario(cfg Config, systems []System) (campaign.Scenario, error) {
 	if len(systems) == 0 {
 		return nil, fmt.Errorf("mbusim: no systems")
 	}
-	s := &scenario{cfg: cfg, systems: systems}
+	dist := cfg.dist()
+	s := &scenario{cfg: cfg, dist: dist, systems: systems}
 	for _, sys := range systems {
-		// Every event must apply its full length: a burst longer than
-		// the image cannot be placed without truncation, which would
-		// bias the cross-system comparison (the truncation probability
-		// scales inversely with each system's footprint).
-		if cfg.BurstBits > sys.StoredBits() {
+		// Every event must apply its full length: a fixed burst longer
+		// than the image cannot be placed without truncation, which
+		// would bias the cross-system comparison (the truncation
+		// probability scales inversely with each system's footprint).
+		// Geometric lengths are capped at the image by construction.
+		if dist.IsFixed() && cfg.BurstBits > sys.StoredBits() {
 			return nil, fmt.Errorf("mbusim: burst of %d bits exceeds %s's %d stored bits",
 				cfg.BurstBits, sys.Name(), sys.StoredBits())
 		}
@@ -346,14 +370,15 @@ func Scenario(cfg Config, systems []System) (campaign.Scenario, error) {
 }
 
 // Name encodes the configuration and system set so checkpoints from a
-// different campaign are rejected.
+// different campaign are rejected. Fixed-length campaigns keep the
+// historical "burst=<bits>" form so their checkpoints stay resumable.
 func (s *scenario) Name() string {
 	names := make([]string, len(s.systems))
 	for i, sys := range s.systems {
 		names[i] = sys.Name()
 	}
-	return fmt.Sprintf("mbusim:epk=%g:burst=%d:seed=%d:%s",
-		s.cfg.EventsPerKilobit, s.cfg.BurstBits, s.cfg.Seed, strings.Join(names, ","))
+	return fmt.Sprintf("mbusim:epk=%g:burst=%s:seed=%d:%s",
+		s.cfg.EventsPerKilobit, s.dist, s.cfg.Seed, strings.Join(names, ","))
 }
 
 // Trials implements campaign.Scenario.
@@ -381,13 +406,15 @@ func (w *worker) Trial(trial int, acc *campaign.Acc) error {
 		mean := cfg.EventsPerKilobit * float64(sys.StoredBits()) / 1000
 		n := poisson(w.rng, mean)
 		w.bursts = w.bursts[:0]
-		// Starts are uniform over [0, StoredBits-BurstBits] so every
-		// event flips exactly BurstBits bits; drawing over the full
-		// image would truncate bursts landing in the last BurstBits-1
-		// positions, under-dosing small-footprint systems.
-		span := sys.StoredBits() - cfg.BurstBits + 1
+		// Each event samples its length from the configured
+		// distribution (capped at the image), then a start uniform
+		// over [0, StoredBits-length] so every event flips exactly its
+		// full length; drawing starts over the whole image would
+		// truncate bursts landing near the edge, under-dosing
+		// small-footprint systems.
 		for j := 0; j < n; j++ {
-			w.bursts = append(w.bursts, [2]int{w.rng.Intn(span), cfg.BurstBits})
+			length := w.scn.dist.Sample(w.rng, sys.StoredBits())
+			w.bursts = append(w.bursts, [2]int{w.rng.Intn(sys.StoredBits() - length + 1), length})
 		}
 		acc.Add(w.scn.eventsKeys[i], int64(n))
 		ok, err := sys.Trial(w.rng, w.bursts)

@@ -343,6 +343,96 @@ func TestBurstLongerThanImageRejected(t *testing.T) {
 	}
 }
 
+// varAuditor verifies the variable-length burst contract: every event
+// applies its full sampled length inside the image (no truncation),
+// whatever that length is.
+type varAuditor struct {
+	bits int
+
+	mu      sync.Mutex
+	bursts  int
+	maxLen  int
+	lengths map[int]int
+}
+
+func (a *varAuditor) Name() string    { return fmt.Sprintf("varAuditor(%d)", a.bits) }
+func (a *varAuditor) StoredBits() int { return a.bits }
+
+func (a *varAuditor) Trial(rng *rand.Rand, bursts [][2]int) (bool, error) {
+	for _, b := range bursts {
+		if b[1] < 1 || b[1] > a.bits {
+			return false, fmt.Errorf("burst length %d outside [1, %d]", b[1], a.bits)
+		}
+		flips := 0
+		flipBits(a.bits, [][2]int{b}, func(int) { flips++ })
+		if flips != b[1] {
+			return false, fmt.Errorf("burst at %d flipped %d of %d bits (truncated at image edge)",
+				b[0], flips, b[1])
+		}
+		a.mu.Lock()
+		a.bursts++
+		if a.lengths == nil {
+			a.lengths = map[int]int{}
+		}
+		a.lengths[b[1]]++
+		if b[1] > a.maxLen {
+			a.maxLen = b[1]
+		}
+		a.mu.Unlock()
+	}
+	return true, nil
+}
+
+// TestGeometricBurstsFitImage: geometric lengths vary per event, are
+// capped at the (deliberately small) image, and always apply fully.
+// A mean longer than the image must be accepted (the cap engages)
+// where the same fixed length is rejected.
+func TestGeometricBurstsFitImage(t *testing.T) {
+	aud := &varAuditor{bits: 24}
+	cfg := Config{
+		EventsPerKilobit: 200,
+		BurstDist:        "geometric",
+		BurstMeanBits:    48, // twice the image: the cap must engage
+		Trials:           2000,
+		Seed:             21,
+	}
+	if _, err := Run(cfg, []System{aud}); err != nil {
+		t.Fatal(err)
+	}
+	if aud.bursts == 0 {
+		t.Fatal("no bursts injected")
+	}
+	if len(aud.lengths) < 2 {
+		t.Errorf("geometric lengths did not vary: %v", aud.lengths)
+	}
+	if aud.maxLen != aud.bits {
+		t.Errorf("cap never engaged: max length %d, image %d", aud.maxLen, aud.bits)
+	}
+}
+
+// TestGeometricCampaignDeterministic: the geometric mode inherits the
+// per-(system, trial) reseeding determinism.
+func TestGeometricCampaignDeterministic(t *testing.T) {
+	systems := defaultSystems(t)
+	base := Config{EventsPerKilobit: 4, BurstDist: "geometric", BurstMeanBits: 4, Trials: 800, Seed: 17}
+	var results [][]SystemResult
+	for _, workers := range []int{1, 4} {
+		cfg := base
+		cfg.Workers = workers
+		res, err := Run(cfg, systems)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	if !reflect.DeepEqual(results[0], results[1]) {
+		t.Errorf("worker count changed geometric results:\n%+v\nvs\n%+v", results[0], results[1])
+	}
+	if results[0][0].MeanEvents <= 0 {
+		t.Error("no events injected")
+	}
+}
+
 func TestPoissonMean(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	const mean = 2.5

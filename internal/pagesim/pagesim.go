@@ -6,8 +6,11 @@
 //
 //   - transient SEUs: Poisson single-bit flips across the stored page;
 //   - multi-bit upsets: Poisson burst events flipping a run of
-//     adjacent stored bits (placement is clamped so every event
-//     applies its full length, matching internal/mbusim);
+//     adjacent stored bits whose length comes from a configurable
+//     distribution (internal/burstlen): fixed at BurstBits, or
+//     geometric with mean BurstMeanBits capped at the page size
+//     (placement is clamped so every event applies its full sampled
+//     length, matching internal/mbusim);
 //   - stuck-at columns: permanent whole-symbol failures (a dead
 //     physical column), immediately located by the self-checking
 //     hardware and handed to the decoder as erasures;
@@ -19,15 +22,24 @@
 //
 // The simulator empirically validates interleave.Page.CorrectableBurst:
 // a trial whose only fault is one MBU burst within the guarantee
-// (BurstBits <= (depth*t-1)*m+1 stored bits, which can touch at most
+// (length <= (depth*t-1)*m+1 stored bits, which can touch at most
 // depth*t symbols) must never lose the page, so campaigns report
 // single-burst trials and losses as separate counters that tests and
-// spec tolerance bands pin to zero.
+// spec tolerance bands pin to zero. Under the fixed distribution the
+// counters keep their historical meaning (every single-burst trial,
+// whatever BurstBits is); under a variable-length distribution only
+// within-guarantee bursts are counted, since they are the subset the
+// invariant speaks about.
 //
 // Campaigns run on the internal/campaign engine with per-trial
 // reseeding, so the aggregate statistics are bit-identical for any
 // worker count and inherit checkpointing and early stopping. All
-// rates are per hour, matching internal/memsim.
+// rates are per hour, matching internal/memsim. As with mbusim, the
+// fixed distribution samples its length without consuming randomness,
+// so fixed-burst campaigns reproduce the exact pre-distribution RNG
+// stream and none of the committed tolerance bands move; geometric
+// campaigns draw one extra uniform per event (a new stream by
+// construction).
 package pagesim
 
 import (
@@ -35,6 +47,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/burstlen"
 	"repro/internal/campaign"
 	"repro/internal/gf"
 	"repro/internal/interleave"
@@ -52,11 +65,19 @@ type Config struct {
 	// LambdaBit is the SEU rate per stored bit per hour.
 	LambdaBit float64
 	// BurstPerKilobit is the MBU burst event rate per 1000 stored bits
-	// per hour; each event flips BurstBits adjacent stored bits.
+	// per hour; each event flips a run of adjacent stored bits whose
+	// length the burst distribution draws.
 	BurstPerKilobit float64
-	// BurstBits is the length of each MBU burst in stored bits;
-	// required when BurstPerKilobit > 0.
+	// BurstBits is the length of each MBU burst in stored bits under
+	// the default fixed distribution; required when BurstPerKilobit >
+	// 0 and BurstDist is "" or "fixed".
 	BurstBits int
+	// BurstDist selects the burst-length distribution: "" or "fixed"
+	// (every burst is BurstBits long) or "geometric" (lengths drawn
+	// with mean BurstMeanBits, capped at the stored page size).
+	BurstDist string
+	// BurstMeanBits is the geometric mean burst length (>= 1).
+	BurstMeanBits float64
 	// LambdaColumn is the stuck-at column rate per stored symbol per
 	// hour: a struck symbol is permanently forced to a random value
 	// and immediately located (an erasure from then on).
@@ -86,8 +107,6 @@ func (c Config) Validate() error {
 		// t (Inf rate) or every comparison false (NaN), spinning the
 		// trial forever — the same hang class as Periodic.Next(+Inf).
 		return fmt.Errorf("pagesim: fault rates must be finite and nonnegative")
-	case c.BurstPerKilobit > 0 && c.BurstBits <= 0:
-		return fmt.Errorf("pagesim: burst rate %g needs a positive burst length", c.BurstPerKilobit)
 	case !finite(c.ScrubPeriod):
 		return fmt.Errorf("pagesim: invalid scrub period %v", c.ScrubPeriod)
 	case c.Horizon <= 0 || math.IsNaN(c.Horizon) || math.IsInf(c.Horizon, 0):
@@ -95,7 +114,17 @@ func (c Config) Validate() error {
 	case c.Trials <= 0:
 		return fmt.Errorf("pagesim: need at least one trial")
 	}
+	if c.BurstPerKilobit > 0 {
+		if err := c.dist().Validate(); err != nil {
+			return fmt.Errorf("pagesim: burst rate %g: %w", c.BurstPerKilobit, err)
+		}
+	}
 	return nil
+}
+
+// dist assembles the burst-length distribution the config selects.
+func (c Config) dist() burstlen.Dist {
+	return burstlen.Dist{Kind: c.BurstDist, Bits: c.BurstBits, MeanBits: c.BurstMeanBits}
 }
 
 // Counter keys reported into the campaign engine. PageLoss and
@@ -123,9 +152,13 @@ const (
 
 	// CounterSingleBurstTrials / CounterSingleBurstLosses isolate the
 	// trials whose entire fault history is exactly one MBU burst; with
-	// BurstBits within the CorrectableBurst guarantee the loss counter
+	// the burst within the CorrectableBurst guarantee the loss counter
 	// must stay zero, which is the empirical validation campaigns and
-	// tolerance bands pin.
+	// tolerance bands pin. Under the fixed distribution every
+	// single-burst trial counts (the historical meaning, including
+	// deliberately out-of-guarantee BurstBits); under a variable
+	// distribution only within-guarantee bursts count, since they are
+	// the subset the guarantee speaks about.
 	CounterSingleBurstTrials = "single_burst_trials"
 	CounterSingleBurstLosses = "single_burst_losses"
 )
@@ -159,6 +192,7 @@ func (r *Result) LossFraction() float64 {
 // scenario adapts a validated Config to the campaign engine.
 type scenario struct {
 	cfg  Config
+	dist burstlen.Dist
 	page *interleave.Page
 }
 
@@ -196,21 +230,27 @@ func Scenario(cfg Config) (campaign.Scenario, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pagesim: %w", err)
 	}
+	dist := cfg.dist()
 	storedBits := page.StoredSymbols() * page.Code().Field().M()
-	if cfg.BurstPerKilobit > 0 && cfg.BurstBits > storedBits {
+	if cfg.BurstPerKilobit > 0 && dist.IsFixed() && cfg.BurstBits > storedBits {
+		// A fixed burst longer than the page has no untruncated
+		// placement; geometric lengths are capped at the page by
+		// construction.
 		return nil, fmt.Errorf("pagesim: burst of %d bits exceeds the %d-bit stored page", cfg.BurstBits, storedBits)
 	}
-	return &scenario{cfg: cfg, page: page}, nil
+	return &scenario{cfg: cfg, dist: dist, page: page}, nil
 }
 
 // Name encodes the full configuration so checkpoints from a different
-// campaign are rejected rather than silently merged.
+// campaign are rejected rather than silently merged. Fixed-length
+// bursts keep the historical "bb=<bits>" form so their checkpoints
+// stay resumable.
 func (s *scenario) Name() string {
 	c := s.cfg
 	code := s.page.Code()
-	return fmt.Sprintf("pagesim:RS(%d,%d)/m=%d:depth=%d:lb=%g:bpk=%g:bb=%d:lc=%g:scrub=%g:exp=%t:h=%g:seed=%d",
+	return fmt.Sprintf("pagesim:RS(%d,%d)/m=%d:depth=%d:lb=%g:bpk=%g:bb=%s:lc=%g:scrub=%g:exp=%t:h=%g:seed=%d",
 		code.N(), code.K(), code.Field().M(), s.page.Depth(),
-		c.LambdaBit, c.BurstPerKilobit, c.BurstBits, c.LambdaColumn,
+		c.LambdaBit, c.BurstPerKilobit, s.dist, c.LambdaColumn,
 		c.ScrubPeriod, c.ExponentialScrub, c.Horizon, c.Seed)
 }
 
@@ -218,18 +258,23 @@ func (s *scenario) Name() string {
 func (s *scenario) Trials() int { return s.cfg.Trials }
 
 // NewWorker implements campaign.Scenario.
-func (s *scenario) NewWorker() (campaign.Worker, error) { return newWorker(s.cfg, s.page), nil }
+func (s *scenario) NewWorker() (campaign.Worker, error) { return newWorker(s.cfg, s.dist, s.page), nil }
 
 // worker owns the per-goroutine scratch of a page campaign: the
 // reusable page codec, the RNG (reseeded per trial), the stored-page
 // state and every erasure/reencode buffer, so the steady state
 // performs no per-trial heap allocation.
 type worker struct {
-	cfg   Config
-	page  *interleave.Page
-	codec *interleave.Codec
-	rng   *rand.Rand
-	sched scrub.Scheduler
+	cfg  Config
+	dist burstlen.Dist
+	// guaranteeBits is the longest bit burst CorrectableBurst
+	// guarantees against: (depth*t-1)*m+1 stored bits touch at most
+	// depth*t symbols.
+	guaranteeBits int
+	page          *interleave.Page
+	codec         *interleave.Codec
+	rng           *rand.Rand
+	sched         scrub.Scheduler
 
 	data   []gf.Elem // page payload scratch
 	truth  []gf.Elem // ground-truth stored page
@@ -242,19 +287,22 @@ type worker struct {
 	res      interleave.DecodeResult
 }
 
-func newWorker(cfg Config, page *interleave.Page) *worker {
+func newWorker(cfg Config, dist burstlen.Dist, page *interleave.Page) *worker {
+	m := page.Code().Field().M()
 	w := &worker{
-		cfg:      cfg,
-		page:     page,
-		codec:    page.NewCodec(),
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		data:     make([]gf.Elem, page.DataSymbols()),
-		truth:    make([]gf.Elem, page.StoredSymbols()),
-		stored:   make([]gf.Elem, page.StoredSymbols()),
-		reenc:    make([]gf.Elem, page.StoredSymbols()),
-		stuck:    make([]bool, page.StoredSymbols()),
-		erasures: make([]int, 0, page.StoredSymbols()),
-		failed:   make([]bool, page.Depth()),
+		cfg:           cfg,
+		dist:          dist,
+		guaranteeBits: (page.CorrectableBurst()-1)*m + 1,
+		page:          page,
+		codec:         page.NewCodec(),
+		rng:           rand.New(rand.NewSource(cfg.Seed)),
+		data:          make([]gf.Elem, page.DataSymbols()),
+		truth:         make([]gf.Elem, page.StoredSymbols()),
+		stored:        make([]gf.Elem, page.StoredSymbols()),
+		reenc:         make([]gf.Elem, page.StoredSymbols()),
+		stuck:         make([]bool, page.StoredSymbols()),
+		erasures:      make([]int, 0, page.StoredSymbols()),
+		failed:        make([]bool, page.Depth()),
 	}
 	w.sched = scrub.Never{}
 	if cfg.ScrubPeriod > 0 {
@@ -296,6 +344,7 @@ func (w *worker) Trial(trial int, acc *campaign.Acc) error {
 	totalRate := seuRate + burstRate + colRate
 
 	seus, bursts, cols := 0, 0, 0
+	lastBurstLen := 0
 	t := 0.0
 	nextScrub := w.sched.Next(0)
 	for {
@@ -318,13 +367,17 @@ func (w *worker) Trial(trial int, acc *campaign.Acc) error {
 			w.flipBit(rng.Intn(storedBits))
 			seus++
 		case u < seuRate+burstRate:
-			// Starts are uniform over the placements at which the full
-			// burst fits, so every event flips exactly BurstBits bits
-			// (the mbusim convention; no edge truncation bias).
-			start := rng.Intn(storedBits - cfg.BurstBits + 1)
-			for b := 0; b < cfg.BurstBits; b++ {
+			// Each event samples its length from the configured
+			// distribution (capped at the page), then a start uniform
+			// over the placements at which the full burst fits, so
+			// every event flips exactly its sampled length (the mbusim
+			// convention; no edge truncation bias).
+			length := w.dist.Sample(rng, storedBits)
+			start := rng.Intn(storedBits - length + 1)
+			for b := 0; b < length; b++ {
 				w.flipBit(start + b)
 			}
+			lastBurstLen = length
 			bursts++
 		default:
 			s := rng.Intn(storedSymbols)
@@ -354,7 +407,11 @@ func (w *worker) Trial(trial int, acc *campaign.Acc) error {
 			}
 		}
 	}
-	singleBurst := bursts == 1 && seus == 0 && cols == 0
+	// Under a variable-length distribution, only within-guarantee
+	// bursts feed the single-burst counters (see the counter docs);
+	// the fixed distribution keeps the historical any-length meaning.
+	singleBurst := bursts == 1 && seus == 0 && cols == 0 &&
+		(w.dist.IsFixed() || lastBurstLen <= w.guaranteeBits)
 	if singleBurst {
 		acc.Add(CounterSingleBurstTrials, 1)
 	}

@@ -101,6 +101,80 @@ func TestCorrectableBurstEmpirical(t *testing.T) {
 	}
 }
 
+// TestGeometricBurstLengths: the geometric length distribution must
+// validate, run deterministically, and keep the guarantee invariant —
+// single bursts within CorrectableBurst never lose the page — even
+// though the tail of the distribution produces bursts far beyond the
+// guarantee (which are excluded from the single-burst counters and
+// free to lose pages).
+func TestGeometricBurstLengths(t *testing.T) {
+	cfg := Config{
+		Depth:           2,
+		BurstPerKilobit: 3,
+		BurstDist:       "geometric",
+		BurstMeanBits:   8, // guarantee for depth 2, t=1 is 9 bits; the tail goes far beyond
+		Horizon:         1,
+		Trials:          3000,
+		Seed:            9,
+	}
+	scn, err := Scenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []*campaign.Result
+	for _, workers := range []int{1, 4} {
+		cres, err := campaign.Run(scn, campaign.Config{Workers: workers, ShardSize: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, cres)
+	}
+	if !reflect.DeepEqual(results[0], results[1]) {
+		t.Error("geometric burst campaign not worker-count deterministic")
+	}
+	res := ResultFromCampaign(cfg, results[0])
+	if res.Bursts == 0 {
+		t.Fatal("no bursts injected")
+	}
+	if res.SingleBurstTrials < 200 {
+		t.Fatalf("only %d within-guarantee single-burst trials; statistics too weak", res.SingleBurstTrials)
+	}
+	if res.SingleBurstLosses != 0 {
+		t.Errorf("%d of %d within-guarantee single bursts lost the page",
+			res.SingleBurstLosses, res.SingleBurstTrials)
+	}
+	if res.PageLoss == 0 {
+		t.Error("the geometric tail (bursts beyond the guarantee) should lose some pages")
+	}
+
+	// The scenario name must distinguish the distribution so
+	// checkpoints cannot cross modes.
+	if fixedName := mustScenario(t, Config{Depth: 2, BurstPerKilobit: 3, BurstBits: 8,
+		Horizon: 1, Trials: 10, Seed: 9}).Name(); fixedName == scn.Name() {
+		t.Error("geometric and fixed campaigns share a scenario name")
+	}
+
+	bad := cfg
+	bad.BurstMeanBits = 0.5
+	if err := bad.Validate(); err == nil {
+		t.Error("sub-1 geometric mean accepted")
+	}
+	bad = cfg
+	bad.BurstDist = "uniform"
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown burst distribution accepted")
+	}
+}
+
+func mustScenario(t *testing.T, cfg Config) campaign.Scenario {
+	t.Helper()
+	scn, err := Scenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scn
+}
+
 // TestDeeperInterleavingAbsorbsBursts: under a burst environment rare
 // enough that single events dominate, deepening the interleave at the
 // same code must cut the page-loss fraction — the trade-off the

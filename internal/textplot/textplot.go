@@ -152,6 +152,111 @@ func (p *Plot) Render() string {
 	return b.String()
 }
 
+// heatRamp shades heatmap cells from low to high.
+var heatRamp = []rune(" .:-=+*#%@")
+
+// Heatmap renders a grid of values as shaded character cells: one row
+// per YTicks entry, one column per XTicks entry, with the value range
+// mapped onto a density ramp and a legend giving the ramp's extremes.
+// NaN cells render as '?' (a missing measurement, distinct from the
+// ramp's lowest shade).
+type Heatmap struct {
+	Title  string
+	XLabel string // axis annotation under the columns
+	YLabel string // axis annotation above the rows
+	XTicks []string
+	YTicks []string
+	// Values is indexed [row][col] and must be len(YTicks) x
+	// len(XTicks).
+	Values [][]float64
+}
+
+// Render draws the heatmap into a string.
+func (h *Heatmap) Render() string {
+	if len(h.XTicks) == 0 || len(h.YTicks) == 0 {
+		return "(empty heatmap)\n"
+	}
+	if len(h.Values) != len(h.YTicks) {
+		return fmt.Sprintf("(heatmap has %d rows of values for %d row labels)\n", len(h.Values), len(h.YTicks))
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for r, row := range h.Values {
+		if len(row) != len(h.XTicks) {
+			return fmt.Sprintf("(heatmap row %d has %d values for %d columns)\n", r, len(row), len(h.XTicks))
+		}
+		for _, v := range row {
+			if math.IsNaN(v) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	glyph := func(v float64) rune {
+		switch {
+		case math.IsNaN(v):
+			return '?'
+		case hi == lo:
+			return heatRamp[len(heatRamp)/2]
+		}
+		idx := int(math.Round((v - lo) / (hi - lo) * float64(len(heatRamp)-1)))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx > len(heatRamp)-1 {
+			idx = len(heatRamp) - 1
+		}
+		return heatRamp[idx]
+	}
+
+	colWidth := 1
+	for _, t := range h.XTicks {
+		if len(t) > colWidth {
+			colWidth = len(t)
+		}
+	}
+	rowWidth := 0
+	for _, t := range h.YTicks {
+		if len(t) > rowWidth {
+			rowWidth = len(t)
+		}
+	}
+
+	var b strings.Builder
+	if h.Title != "" {
+		fmt.Fprintf(&b, "%s\n", h.Title)
+	}
+	if h.YLabel != "" {
+		fmt.Fprintf(&b, "%*s\n", rowWidth, h.YLabel)
+	}
+	fmt.Fprintf(&b, "%*s", rowWidth, "")
+	for _, t := range h.XTicks {
+		fmt.Fprintf(&b, "  %*s", colWidth, t)
+	}
+	b.WriteString("\n")
+	for r, ytick := range h.YTicks {
+		fmt.Fprintf(&b, "%*s", rowWidth, ytick)
+		for _, v := range h.Values[r] {
+			// The glyph fills the column so the shading reads as an
+			// area, not scattered points.
+			fmt.Fprintf(&b, "  %s", strings.Repeat(string(glyph(v)), colWidth))
+		}
+		b.WriteString("\n")
+	}
+	if h.XLabel != "" {
+		fmt.Fprintf(&b, "%*s  (%s)\n", rowWidth, "", h.XLabel)
+	}
+	if math.IsInf(lo, 1) {
+		fmt.Fprintf(&b, "scale: no finite values\n")
+	} else if hi == lo {
+		fmt.Fprintf(&b, "scale: all cells %.4g\n", lo)
+	} else {
+		fmt.Fprintf(&b, "scale: '%c' = %.4g .. '%c' = %.4g\n",
+			heatRamp[0], lo, heatRamp[len(heatRamp)-1], hi)
+	}
+	return b.String()
+}
+
 // WriteTSV emits the series as a tab-separated table: one x column
 // followed by one column per series. All series must share the same
 // x grid; rows are emitted in ascending x order.

@@ -2,6 +2,7 @@ package textplot
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 )
@@ -179,5 +180,65 @@ func TestWriteTSVValidation(t *testing.T) {
 	short := []Series{{Label: "a", X: []float64{0, 1}, Y: []float64{0}}}
 	if err := WriteTSV(&buf, "x", short); err == nil {
 		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestHeatmapRender(t *testing.T) {
+	h := &Heatmap{
+		Title:  "loss fraction",
+		XLabel: "scrub_period_hours",
+		YLabel: "depth,n",
+		XTicks: []string{"1", "4", "12"},
+		YTicks: []string{"2,18", "2,20", "4,18", "4,20"},
+		Values: [][]float64{
+			{0.01, 0.02, 0.08},
+			{0.001, 0.002, 0.004},
+			{0.02, 0.05, 0.2},
+			{0.002, 0.003, 0.01},
+		},
+	}
+	out := h.Render()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title, y label, column header, 4 rows, x label, scale legend.
+	if len(lines) != 9 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	for _, want := range []string{"loss fraction", "scrub_period_hours", "depth,n", "2,18", "scale: ' ' = 0.001 .. '@' = 0.2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("heatmap missing %q:\n%s", want, out)
+		}
+	}
+	// The max cell must carry the densest glyph, the min cell the
+	// lightest (a run of colWidth copies, here 4 wide for "2,18").
+	if !strings.Contains(out, "@@") {
+		t.Errorf("max cell not densest:\n%s", out)
+	}
+}
+
+func TestHeatmapDegenerate(t *testing.T) {
+	flat := &Heatmap{
+		XTicks: []string{"a"}, YTicks: []string{"b"},
+		Values: [][]float64{{0.5}},
+	}
+	if out := flat.Render(); !strings.Contains(out, "all cells 0.5") {
+		t.Errorf("flat heatmap legend:\n%s", out)
+	}
+	missing := &Heatmap{
+		XTicks: []string{"a", "b"}, YTicks: []string{"r"},
+		Values: [][]float64{{math.NaN(), 1}},
+	}
+	if out := missing.Render(); !strings.Contains(out, "?") {
+		t.Errorf("NaN cell not marked:\n%s", out)
+	}
+	empty := &Heatmap{}
+	if out := empty.Render(); !strings.Contains(out, "empty heatmap") {
+		t.Errorf("empty heatmap: %q", out)
+	}
+	ragged := &Heatmap{
+		XTicks: []string{"a", "b"}, YTicks: []string{"r"},
+		Values: [][]float64{{1}},
+	}
+	if out := ragged.Render(); !strings.Contains(out, "columns") {
+		t.Errorf("ragged heatmap accepted: %q", out)
 	}
 }
