@@ -98,3 +98,26 @@ func TestCompareGates(t *testing.T) {
 		t.Errorf("allocs-only mode still gated latency:\n%s", buf.String())
 	}
 }
+
+// TestCompareReportsNewBenchmarks: benchmarks present in the new
+// output but absent from the baseline must be listed (they bypass the
+// gate until folded in with -update) without counting as failures.
+func TestCompareReportsNewBenchmarks(t *testing.T) {
+	base := map[string]Entry{"BenchmarkOld": {NsPerOp: 100, AllocsPerOp: 1}}
+	current := map[string]Entry{
+		"BenchmarkOld":   {NsPerOp: 100, AllocsPerOp: 1},
+		"BenchmarkAdded": {NsPerOp: 42, AllocsPerOp: 3},
+	}
+	var buf bytes.Buffer
+	failures, compared := compare(base, current, 0.25, false, &buf)
+	if failures != 0 || compared != 1 {
+		t.Errorf("failures=%d compared=%d, want 0/1:\n%s", failures, compared, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "NEW  BenchmarkAdded") || !strings.Contains(out, "not in baseline") {
+		t.Errorf("new benchmark not reported:\n%s", out)
+	}
+	if strings.Contains(out, "NEW  BenchmarkOld") {
+		t.Errorf("baselined benchmark reported as new:\n%s", out)
+	}
+}

@@ -34,10 +34,16 @@
 // Each -partition run executes only its slice of every scenario and
 // writes a self-describing partial-result artifact under -partials
 // (append-only, resumable: rerun the same command after a crash and
-// only missing shards are recomputed). The -merge run folds the
-// partials into results that are bit-identical to an unpartitioned
-// run — including early stopping, which the merger re-decides on the
-// contiguous shard prefix (partitions deliberately over-run). With
+// only missing shards are recomputed). Artifacts are fingerprinted
+// with a digest of the entry's kind and params, so editing a
+// scenario's params in the spec makes both resume and merge refuse
+// the stale artifacts instead of silently folding shards computed
+// under the old parameters (delete the partials or revert the edit;
+// artifacts from before the digest existed are exempt). The -merge
+// run folds the partials into results that are bit-identical to an
+// unpartitioned run — including early stopping, which the merger
+// re-decides on the contiguous shard prefix (partitions deliberately
+// over-run). With
 // -stream, the merge feeds samples straight from the partial
 // artifacts into the CSV artifacts without materializing them, so
 // million-sample campaigns merge in bounded memory (JSON artifacts

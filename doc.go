@@ -104,6 +104,31 @@
 // against the Monte Carlo's Wilson band, failing the campaign on
 // disagreement.
 //
+// Stuck-column location in pagesim is an explicit controller process,
+// not a free side effect of injection: a column is physically stuck
+// from its strike instant, but only located columns reach the decoder
+// as erasures (the paper's located-fault doubling, n-k erasures vs
+// (n-k)/2 errors). The detection policy bridges the two states —
+// "immediate" (strike-instant location, the historical behavior,
+// bit-identical RNG stream and outputs), "scrub" (located when a
+// scrub pass observes the symbol deviate from the corrected codeword,
+// with miscorrection possible while unlocated), or "latency" (located
+// a fixed delay after striking, mirroring
+// memsim.Config.DetectionLatency) — and non-immediate campaigns
+// report located_columns, stuck_unlocated_reads and a
+// time_to_location sample series. examples/campaign/detection.json
+// sweeps policy x scrub period x depth to quantify how much
+// reliability the free-erasures assumption overstated (roughly 2x
+// page loss under realistic location in the committed configuration).
+//
+// Campaign identity is guarded end to end: partial artifacts and
+// checkpoints carry the scenario name, geometry and — when run
+// through the spec layer — a digest of the entry's kind and
+// canonicalized params, so editing a spec entry refuses to resume or
+// merge artifacts computed under the old parameters (pre-digest
+// artifacts stay loadable; the edit-detection caveat is documented in
+// internal/campaign/spec).
+//
 // # Continuous integration gates
 //
 // The ci workflow builds and tests on the current and previous Go

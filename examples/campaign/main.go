@@ -4,7 +4,11 @@
 // BER curve, the accelerated SSMM fault-injection mission with a
 // tolerance band, a multi-bit-upset comparison and a design-space
 // sweep — all running on the shared internal/campaign engine.
-// nightly.json is the drift gate the nightly CI workflow runs.
+// nightly.json is the drift gate the nightly CI workflow runs;
+// matrix.json is the RS(n,k) x depth x scrub sweep; detection.json
+// sweeps the stuck-column detection policy (immediate / scrub /
+// latency) x scrub period x depth, quantifying how much reliability
+// the old located-at-strike assumption overstated.
 //
 // This program loads spec.json, runs one scenario directly (showing
 // the programmatic API: Build, EngineConfig, campaign.Run,

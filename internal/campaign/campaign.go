@@ -120,6 +120,10 @@ func (a *Acc) Add(counter string, delta int64) {
 	a.counters[counter] += delta
 }
 
+// Counter returns a counter's accumulated value (0 when absent), so
+// workers and their tests can inspect what a trial recorded.
+func (a *Acc) Counter(name string) int64 { return a.counters[name] }
+
 // Sample records an (x, y) point for a labeled series.
 func (a *Acc) Sample(trial int, series string, x, y float64) {
 	a.samples = append(a.samples, Sample{Trial: trial, Series: series, X: x, Y: y})
@@ -205,6 +209,15 @@ type Config struct {
 	// shards; 0 throttles adaptively (about one append batch per
 	// second or 64 buffered shards, plus a final flush).
 	CheckpointEvery int
+	// ParamsDigest optionally stamps checkpoints and partial artifacts
+	// with a digest of the scenario's full parameter set (the spec
+	// layer digests each entry's kind+params). A resume against an
+	// artifact carrying a different digest is refused even when the
+	// scenario name matches, so editing a spec entry's params can
+	// never silently merge shards computed under the old ones.
+	// Artifacts without a digest (written before the field existed)
+	// resume regardless — the documented pre-digest caveat.
+	ParamsDigest string
 	// Stop optionally ends the campaign once a counter's confidence
 	// interval is narrow enough.
 	Stop *EarlyStop
@@ -309,6 +322,7 @@ func Run(scn Scenario, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	plan.ParamsDigest = cfg.ParamsDigest
 	partial, err := Execute(scn, plan, ExecConfig{
 		Workers:    cfg.Workers,
 		Artifact:   cfg.Checkpoint,
@@ -320,5 +334,5 @@ func Run(scn Scenario, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	defer partial.Close()
-	return Merge([]*Partial{partial}, MergeConfig{Stop: cfg.Stop})
+	return Merge([]*Partial{partial}, MergeConfig{Stop: cfg.Stop, ParamsDigest: cfg.ParamsDigest})
 }

@@ -305,10 +305,18 @@ func preparePartial(plan *Plan, artifact string) (*Partial, *partialAppender, er
 		}
 		return p, appender, nil
 	}
-	if existing.header != header {
+	if !existing.header.geometryMatches(header) || existing.header.partition() != header.partition() {
 		return nil, nil, fmt.Errorf("campaign: partial %s is for scenario %q (%d trials, shard %d, partition %s), want %q (%d trials, shard %d, partition %s)",
 			artifact, existing.header.Scenario, existing.header.Trials, existing.header.ShardSize, existing.header.partition(),
 			plan.Scenario, plan.Trials, plan.ShardSize, plan.Part)
+	}
+	if existing.header.digestConflicts(header) {
+		// Same scenario name and geometry but a different parameter
+		// set: the spec's params were edited since the artifact was
+		// written. Resuming would merge shards computed under the old
+		// parameters into the new campaign, so refuse loudly.
+		return nil, nil, fmt.Errorf("campaign: partial %s was computed under different scenario params (digest %s, want %s): delete the artifact or revert the spec edit",
+			artifact, existing.header.ParamsDigest, header.ParamsDigest)
 	}
 	// Restored shards must lie inside the plan's partition range.
 	for idx := range existing.counters {
@@ -320,13 +328,18 @@ func preparePartial(plan *Plan, artifact string) (*Partial, *partialAppender, er
 	existing.resumed = existing.DoneTrials()
 	if appendAt < 0 {
 		// Version-1 checkpoint: rewrite as version 2 so new shards can
-		// be appended. The in-memory records move to the file.
+		// be appended. The in-memory records move to the file. The
+		// migrated header keeps the checkpoint's own (digest-less)
+		// identity rather than the plan's: stamping the current digest
+		// onto legacy shards would certify params provenance the old
+		// format never recorded — and wrongly refuse the artifact
+		// later if the spec edit it was blind to gets reverted.
 		records := make([]*shardRecord, 0, len(existing.mem))
 		for _, idx := range existing.Shards() {
 			records = append(records, existing.mem[idx])
 		}
 		existing.loc = make(map[int][2]int64)
-		appender, err := createPartialFile(artifact, header, records, existing.loc)
+		appender, err := createPartialFile(artifact, existing.header, records, existing.loc)
 		if err != nil {
 			return nil, nil, err
 		}

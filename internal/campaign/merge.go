@@ -32,6 +32,12 @@ type MergeConfig struct {
 	// and the Result's Samples/Notes fields stay nil (the
 	// bounded-memory path); otherwise they accumulate in the Result.
 	Sink Sink
+	// ParamsDigest, when set, is the digest of the scenario parameter
+	// set the caller is merging FOR (the current spec entry): any
+	// partial carrying a different digest is a stale artifact from an
+	// edited spec and the merge is refused. Partials without a digest
+	// (pre-digest artifacts) pass — the documented caveat.
+	ParamsDigest string
 }
 
 // Merge folds any set of partial results — from one process or many —
@@ -61,10 +67,23 @@ func Merge(partials []*Partial, cfg MergeConfig) (*Result, error) {
 	head := sorted[0].header
 	numShards := head.numShards()
 	owner := make(map[int]*Partial, numShards)
+	// The digest check is pairwise-transitive via the first non-empty
+	// digest seen: pre-digest partials (empty digest) are compatible
+	// with everything, but two partials carrying different digests —
+	// or one contradicting the caller's expected digest — mean some
+	// shards were computed under edited params and must not merge.
+	digestHolder := partialHeader{ParamsDigest: cfg.ParamsDigest}
 	for _, p := range sorted {
 		h := p.header
-		if h.fingerprint() != head.fingerprint() {
+		if !h.geometryMatches(head) {
 			return nil, fmt.Errorf("campaign: partial %s is from campaign %q, want %q", describePartial(p), h.fingerprint(), head.fingerprint())
+		}
+		if h.digestConflicts(digestHolder) {
+			return nil, fmt.Errorf("campaign: partial %s was computed under different scenario params (digest %s, want %s): it is stale — recompute it or revert the spec edit",
+				describePartial(p), h.ParamsDigest, digestHolder.ParamsDigest)
+		}
+		if h.ParamsDigest != "" {
+			digestHolder.ParamsDigest = h.ParamsDigest
 		}
 		if h.PartitionCount != head.PartitionCount {
 			return nil, fmt.Errorf("campaign: partial %s declares %d partitions, want %d", describePartial(p), h.PartitionCount, head.PartitionCount)

@@ -40,10 +40,37 @@ type partialHeader struct {
 	// range this artifact holds (0/1 for a single-process campaign).
 	PartitionIndex int `json:"partition_index"`
 	PartitionCount int `json:"partition_count"`
+	// ParamsDigest is an optional deterministic digest of the full
+	// scenario parameter set, supplied by layers above the engine (the
+	// spec package digests each entry's kind+params). It closes the
+	// resume hole where an edit to a spec entry's params that a
+	// scenario's Name does not encode would let stale shards merge
+	// silently. Artifacts written before the field existed carry ""
+	// and digests compare only when both sides have one, so old
+	// partials stay loadable and resumable — with the documented
+	// caveat that params edits are not detected against them.
+	ParamsDigest string `json:"params_digest,omitempty"`
 }
 
 func (h partialHeader) fingerprint() string {
-	return fmt.Sprintf("%s|trials=%d|shard=%d", h.Scenario, h.Trials, h.ShardSize)
+	fp := fmt.Sprintf("%s|trials=%d|shard=%d", h.Scenario, h.Trials, h.ShardSize)
+	if h.ParamsDigest != "" {
+		fp += "|params=" + h.ParamsDigest
+	}
+	return fp
+}
+
+// geometryMatches reports whether two headers agree on the
+// digest-independent campaign identity (scenario, trials, shard size).
+func (h partialHeader) geometryMatches(o partialHeader) bool {
+	return h.Scenario == o.Scenario && h.Trials == o.Trials && h.ShardSize == o.ShardSize
+}
+
+// digestConflicts reports whether two headers carry contradicting
+// params digests. Empty digests (pre-digest artifacts, or engines run
+// without a spec layer) never conflict.
+func (h partialHeader) digestConflicts(o partialHeader) bool {
+	return h.ParamsDigest != "" && o.ParamsDigest != "" && h.ParamsDigest != o.ParamsDigest
 }
 
 func (h partialHeader) partition() Partition {
@@ -133,6 +160,11 @@ type Partial struct {
 
 // Partition returns the slice of the campaign this partial holds.
 func (p *Partial) Partition() Partition { return p.header.partition() }
+
+// ParamsDigest returns the scenario-parameter digest recorded in the
+// artifact ("" for artifacts written before the digest existed, or by
+// engines run without a digest-supplying layer).
+func (p *Partial) ParamsDigest() string { return p.header.ParamsDigest }
 
 // Path returns the artifact file backing the partial ("" when it was
 // executed without one).

@@ -89,6 +89,11 @@ type Plan struct {
 	// First and End bound this partition's contiguous shard range
 	// [First, End); partitions are disjoint and cover every shard.
 	First, End int
+	// ParamsDigest optionally stamps the partial artifact with a
+	// digest of the full scenario parameter set (see
+	// Config.ParamsDigest); set it before Execute. "" disables the
+	// digest check.
+	ParamsDigest string
 }
 
 // NewPlan validates the scenario geometry and computes the partition's
@@ -157,5 +162,6 @@ func (p *Plan) header() partialHeader {
 		ShardSize:      p.ShardSize,
 		PartitionIndex: p.Part.Index,
 		PartitionCount: p.Part.Count,
+		ParamsDigest:   p.ParamsDigest,
 	}
 }

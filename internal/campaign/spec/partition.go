@@ -58,6 +58,7 @@ func (b *Built) RunPartition(f *File, part campaign.Partition, dir string) (*cam
 	if err != nil {
 		return nil, fmt.Errorf("spec: %s: %w", b.Entry.Name, err)
 	}
+	plan.ParamsDigest = cfg.ParamsDigest
 	partial, err := campaign.Execute(b.Scenario, plan, campaign.ExecConfig{
 		Workers:    cfg.Workers,
 		Artifact:   b.Entry.PartialPath(dir, part),
@@ -99,7 +100,7 @@ func (b *Built) MergePartials(f *File, dir string, sink campaign.Sink) (*campaig
 		partials = append(partials, p)
 	}
 	cfg := b.EngineConfig(f)
-	cres, err := campaign.Merge(partials, campaign.MergeConfig{Stop: cfg.Stop, Sink: sink})
+	cres, err := campaign.Merge(partials, campaign.MergeConfig{Stop: cfg.Stop, Sink: sink, ParamsDigest: cfg.ParamsDigest})
 	if err != nil {
 		return nil, fmt.Errorf("spec: %s: %w", b.Entry.Name, err)
 	}

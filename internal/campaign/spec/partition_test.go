@@ -1,6 +1,7 @@
 package spec
 
 import (
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -159,5 +160,71 @@ func TestPartialPathsDistinct(t *testing.T) {
 	}
 	if !strings.Contains(a, "part0of3") || !strings.Contains(b, "part1of3") {
 		t.Errorf("partition paths missing slice markers: %q, %q", a, b)
+	}
+}
+
+// TestParamsEditRefusesStaleResume is the spec-level regression for
+// the resume-fingerprint hole: editing an entry's params while
+// keeping its name must refuse to resume (and to merge) a partial
+// artifact computed under the old parameters. The edited param here
+// (the "array" kind's validate_analytic) is deliberately one that the
+// scenario Name does not encode, so only the params digest can catch
+// the edit.
+func TestParamsEditRefusesStaleResume(t *testing.T) {
+	doc := func(validate bool) string {
+		return fmt.Sprintf(`{"seed": 3, "scenarios": [{"name": "memory", "kind": "array",
+		  "params": {"data_bytes": 16384, "seu_per_bit_day": 1.44e-2,
+		             "perm_per_symbol_day": 4.8e-3, "hours": 24, "trials": 200,
+		             "validate_analytic": %t}}]}`, validate)
+	}
+	build := func(src string) (*File, *Built) {
+		t.Helper()
+		f, err := Parse([]byte(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		built, err := f.BuildAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f, built[0]
+	}
+
+	f, b := build(doc(false))
+	fEdited, bEdited := build(doc(true))
+	if b.Scenario.Name() != bEdited.Scenario.Name() {
+		t.Fatalf("edit is visible in the scenario name; pick a name-invisible param for this regression")
+	}
+	if b.Digest == bEdited.Digest {
+		t.Fatal("params edit did not change the digest")
+	}
+
+	dir := t.TempDir()
+	partial, err := b.RunPartition(f, campaign.Whole, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial.Close()
+
+	// The edited spec must refuse both the resume and the merge.
+	if _, err := bEdited.RunPartition(fEdited, campaign.Whole, dir); err == nil {
+		t.Error("edited spec resumed a stale partial")
+	} else if !strings.Contains(err.Error(), "different scenario params") {
+		t.Errorf("unhelpful stale-resume error: %v", err)
+	}
+	if _, err := bEdited.MergePartials(fEdited, dir, nil); err == nil {
+		t.Error("edited spec merged a stale partial")
+	} else if !strings.Contains(err.Error(), "different scenario params") {
+		t.Errorf("unhelpful stale-merge error: %v", err)
+	}
+
+	// The unedited spec resumes every trial from the artifact.
+	resumed, err := b.RunPartition(f, campaign.Whole, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	if resumed.ResumedTrials() != b.Scenario.Trials() {
+		t.Errorf("resumed %d trials, want %d", resumed.ResumedTrials(), b.Scenario.Trials())
 	}
 }

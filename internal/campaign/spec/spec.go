@@ -34,6 +34,7 @@
 //	      "name": "page-sweep",
 //	      "kind": "interleave",
 //	      "params": {"burst_per_kilobit_hour": 0.5, "burst_bits": 9,
+//	                 "detection": "latency", "detection_latency_hours": 12,
 //	                 "horizon_hours": 48, "trials": 4000},
 //	      "matrix": {"n": [18, 20], "depth": [2, 4],
 //	                 "scrub_period_hours": [1, 4, 12]},
@@ -54,7 +55,22 @@
 // "interleave") take burst_dist/burst_mean_bits to draw MBU lengths
 // from a distribution ("fixed" default; "geometric" with the given
 // mean, capped at the image — see internal/burstlen) instead of a
-// constant burst_bits.
+// constant burst_bits. The "interleave" kind additionally takes a
+// "detection" policy for stuck-column location ("immediate" default —
+// the historical free-erasures behavior, bit-identical outputs;
+// "scrub" — located when a scrub pass observes the symbol deviate;
+// "latency" — located detection_latency_hours after striking), a
+// natural matrix axis for quantifying what immediate location buys
+// (see examples/campaign/detection.json).
+//
+// Every entry's kind and canonicalized params are digested
+// (Entry.ParamsDigest) and stamped into checkpoint and
+// partial-artifact headers: editing an entry's params while keeping
+// its name makes resume and merge refuse the stale artifacts instead
+// of silently folding shards computed under the old parameters.
+// Artifacts written before the digest existed carry none and stay
+// loadable — the one caveat being that params edits are not detected
+// against those pre-digest files.
 //
 // An entry with a "matrix" field is a sweep template: File.Expand
 // (run automatically by Parse and BuildAll) replaces it with the full
@@ -79,6 +95,8 @@ package spec
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -243,10 +261,41 @@ func (f *File) Validate() error {
 	return nil
 }
 
+// ParamsDigest returns a deterministic digest of the entry's kind and
+// canonicalized params (JSON re-marshaled with sorted keys, so
+// whitespace and key order do not matter). The engine stamps it into
+// checkpoint and partial-artifact headers: resuming or merging an
+// artifact whose digest differs is refused even when the scenario
+// name happens to match, closing the hole where a params edit that a
+// kind's scenario Name does not encode would silently merge stale
+// shards. The digest is deliberately conservative — it covers every
+// param, including ones (like the "array" kind's validate_analytic)
+// that do not change the computed shards.
+func (e Entry) ParamsDigest() (string, error) {
+	raw := e.Params
+	if len(raw) == 0 {
+		raw = []byte("{}")
+	}
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return "", fmt.Errorf("spec: scenario %q params: %w", e.Name, err)
+	}
+	canon, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("spec: scenario %q params: %w", e.Name, err)
+	}
+	sum := sha256.Sum256(append(append([]byte(e.Kind), '\n'), canon...))
+	return hex.EncodeToString(sum[:]), nil
+}
+
 // Built is a spec entry compiled to a runnable scenario.
 type Built struct {
 	Entry    Entry
 	Scenario campaign.Scenario
+	// Digest is the entry's ParamsDigest, stamped into checkpoint and
+	// partial-artifact headers so stale artifacts from an edited spec
+	// are refused at resume and merge time.
+	Digest string
 	// Render writes the scenario's human-readable summary.
 	Render func(w io.Writer, cres *campaign.Result) error
 	// shardSize is the kind's preferred shard size when the file does
@@ -262,9 +311,10 @@ type Built struct {
 // under the file-level defaults.
 func (b *Built) EngineConfig(f *File) campaign.Config {
 	cfg := campaign.Config{
-		Workers:    f.Workers,
-		ShardSize:  f.ShardSize,
-		Checkpoint: b.Entry.Checkpoint,
+		Workers:      f.Workers,
+		ShardSize:    f.ShardSize,
+		Checkpoint:   b.Entry.Checkpoint,
+		ParamsDigest: b.Digest,
 	}
 	if cfg.ShardSize == 0 {
 		cfg.ShardSize = b.shardSize
@@ -398,9 +448,15 @@ type InterleaveParams struct {
 	LambdaColumn    float64 `json:"lambda_column_per_hour"`
 	ScrubHours      float64 `json:"scrub_period_hours"`
 	ExpScrub        bool    `json:"exponential_scrub"`
-	Horizon         float64 `json:"horizon_hours"`
-	Trials          int     `json:"trials"`
-	Seed            *int64  `json:"seed,omitempty"`
+	// Detection selects the stuck-column location policy ("immediate"
+	// default, "scrub", or "latency" with detection_latency_hours —
+	// see pagesim.Config.Detection); matrix entries sweep it like any
+	// other param.
+	Detection        string  `json:"detection,omitempty"`
+	DetectionLatency float64 `json:"detection_latency_hours,omitempty"`
+	Horizon          float64 `json:"horizon_hours"`
+	Trials           int     `json:"trials"`
+	Seed             *int64  `json:"seed,omitempty"`
 }
 
 // PagesimConfig converts the params into a simulator configuration
@@ -428,6 +484,8 @@ func (p InterleaveParams) PagesimConfig(defaultSeed int64) pagesim.Config {
 		LambdaColumn:     p.LambdaColumn,
 		ScrubPeriod:      p.ScrubHours,
 		ExponentialScrub: p.ExpScrub,
+		Detection:        p.Detection,
+		DetectionLatency: p.DetectionLatency,
 		Horizon:          p.Horizon,
 		Trials:           p.Trials,
 		Seed:             seed,
@@ -490,8 +548,21 @@ func (p ArrayParams) SimConfig(defaultSeed int64) (array.SimConfig, error) {
 	}, nil
 }
 
-// Build compiles one entry under the file defaults.
+// Build compiles one entry under the file defaults and stamps its
+// params digest.
 func Build(e Entry, f *File) (*Built, error) {
+	b, err := buildScenario(e, f)
+	if err != nil {
+		return nil, err
+	}
+	if b.Digest, err = e.ParamsDigest(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// buildScenario compiles one entry's kind-specific scenario.
+func buildScenario(e Entry, f *File) (*Built, error) {
 	switch e.Kind {
 	case "memsim":
 		var p MemsimParams
@@ -747,6 +818,20 @@ func renderInterleave(w io.Writer, cfg pagesim.Config, cres *campaign.Result) er
 		res.SEUs, res.Bursts, burstDesc, res.StuckColumns)
 	if res.ScrubOps > 0 {
 		fmt.Fprintf(w, "scrubs:          %d passes\n", res.ScrubOps)
+	}
+	if res.ScrubDecodeErrors > 0 {
+		// Structural failures are impossible for a validated config; a
+		// nonzero counter means scrub passes were abandoned and must
+		// not hide in the totals.
+		fmt.Fprintf(w, "scrub errors:    %d passes abandoned on decode failure\n", res.ScrubDecodeErrors)
+	}
+	if cfg.Detection != "" && cfg.Detection != pagesim.DetectImmediate {
+		policy := cfg.Detection
+		if policy == pagesim.DetectLatency {
+			policy = fmt.Sprintf("%s (%g h after strike)", policy, cfg.DetectionLatency)
+		}
+		fmt.Fprintf(w, "detection:       %s; %d columns located, %d decodes saw unlocated stuck columns\n",
+			policy, res.LocatedColumns, res.StuckUnlocatedReads)
 	}
 	fmt.Fprintf(w, "outcomes:        %d correct, %d lost (%d silent), %d symbols corrected, %d failed stripes\n",
 		res.PageCorrect, res.PageLoss, res.SilentLoss, res.CorrectedSymbols, res.FailedStripes)

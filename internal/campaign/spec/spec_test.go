@@ -193,3 +193,49 @@ func TestTradeoffSpecCandidates(t *testing.T) {
 		t.Errorf("table missing candidate:\n%s", buf.String())
 	}
 }
+
+// TestInterleaveDetectionParams: the stuck-column detection policy is
+// a first-class interleave param — matrix-sweepable, reflected in the
+// scenario name (except immediate, which keeps the historical name so
+// old checkpoints stay resumable), and validated at build time.
+func TestInterleaveDetectionParams(t *testing.T) {
+	doc := `{"seed": 1, "scenarios": [{
+	  "name": "det", "kind": "interleave",
+	  "params": {"depth": 2, "lambda_column_per_hour": 1e-3,
+	             "detection_latency_hours": 6, "scrub_period_hours": 2,
+	             "horizon_hours": 4, "trials": 50},
+	  "matrix": {"detection": ["immediate", "scrub", "latency"]}}]}`
+	f, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := f.BuildAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(built) != 3 {
+		t.Fatalf("built %d cells, want 3", len(built))
+	}
+	names := map[string]bool{}
+	for _, b := range built {
+		names[b.Scenario.Name()] = true
+	}
+	if len(names) != 3 {
+		t.Errorf("detection cells share scenario names: %v", names)
+	}
+	for _, b := range built {
+		if strings.Contains(b.Entry.Name, "immediate") && strings.Contains(b.Scenario.Name(), "det=") {
+			t.Errorf("immediate cell renamed the scenario (breaks old checkpoints): %s", b.Scenario.Name())
+		}
+	}
+
+	bad := `{"scenarios": [{"name": "x", "kind": "interleave",
+	  "params": {"depth": 2, "detection": "eventually", "horizon_hours": 1, "trials": 1}}]}`
+	fb, err := Parse([]byte(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fb.BuildAll(); err == nil {
+		t.Error("unknown detection policy built")
+	}
+}

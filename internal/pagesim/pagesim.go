@@ -12,13 +12,42 @@
 //     (placement is clamped so every event applies its full sampled
 //     length, matching internal/mbusim);
 //   - stuck-at columns: permanent whole-symbol failures (a dead
-//     physical column), immediately located by the self-checking
-//     hardware and handed to the decoder as erasures;
+//     physical column) that force the stored symbol to a random value;
 //
 // with an optional scrub discipline (periodic or exponential, via
 // internal/scrub) that decodes, corrects and rewrites the page
 // between events. The page is read once at the mission horizon and
 // the outcome classified per stripe and per page.
+//
+// # Stuck-column detection and location
+//
+// The paper's central transient-vs-permanent distinction is that a
+// located fault is an erasure (RS corrects up to n-k of them) while an
+// unlocated one is a random error (only (n-k)/2): permanent faults
+// buy the doubled budget only after the controller has detected and
+// located them. The simulator therefore keeps two per-column states —
+// stuck (physical: the column drives the line) and located (known to
+// the controller: passed to the decoder as an erasure) — bridged by a
+// configurable detection policy:
+//
+//   - "immediate" (the default): a column is located the instant it
+//     strikes, the historical free-erasures behavior. This policy is
+//     bit-identical to earlier releases — same RNG stream, counters
+//     and scenario name — so existing determinism tests, nightly
+//     tolerance bands and checkpoints are untouched.
+//   - "scrub": a column becomes located when a scrub pass observes its
+//     symbol deviate from the corrected codeword (the controller's
+//     persistence check, abstracted to one observation). Until then
+//     the dead column consumes error capability and can contribute to
+//     miscorrections — which the scrub rewrite then entrenches.
+//   - "latency": a column becomes located a fixed DetectionLatency
+//     hours after striking, mirroring memsim.Config.DetectionLatency
+//     (the self-checking-hardware model of paper Section 2).
+//
+// Non-immediate policies additionally report located_columns,
+// stuck_unlocated_reads and a time_to_location sample series; the
+// immediate policy reports the historical counter set only, keeping
+// its campaign artifacts byte-identical.
 //
 // The simulator empirically validates interleave.Page.CorrectableBurst:
 // a trial whose only fault is one MBU burst within the guarantee
@@ -79,9 +108,25 @@ type Config struct {
 	// BurstMeanBits is the geometric mean burst length (>= 1).
 	BurstMeanBits float64
 	// LambdaColumn is the stuck-at column rate per stored symbol per
-	// hour: a struck symbol is permanently forced to a random value
-	// and immediately located (an erasure from then on).
+	// hour: a struck symbol is permanently forced to a random value.
+	// When (and whether) the controller locates it — turning the error
+	// into an erasure for every later decode — is the Detection
+	// policy's decision.
 	LambdaColumn float64
+
+	// Detection selects the stuck-column location policy: "" or
+	// DetectImmediate (located at the strike instant, the historical
+	// behavior), DetectScrub (located when a scrub pass observes the
+	// symbol deviate from the corrected codeword; never located
+	// without scrubbing), or DetectLatency (located DetectionLatency
+	// hours after striking).
+	Detection string
+	// DetectionLatency is the strike-to-location delay in hours under
+	// DetectLatency, mirroring memsim.Config.DetectionLatency. The
+	// other policies ignore it (so a matrix sweep can share one value
+	// across detection cells); zero under DetectLatency locates at the
+	// next decode, reproducing immediate outcomes.
+	DetectionLatency float64
 
 	// ScrubPeriod is the hours between scrub passes (0 disables);
 	// ExponentialScrub draws exponential intervals with that mean
@@ -93,6 +138,37 @@ type Config struct {
 	Trials  int
 	Seed    int64
 	Workers int // 0 = GOMAXPROCS
+}
+
+// Detection policy names accepted by Config.Detection.
+const (
+	DetectImmediate = "immediate"
+	DetectScrub     = "scrub"
+	DetectLatency   = "latency"
+)
+
+// detectPolicy is the parsed form of Config.Detection.
+type detectPolicy int
+
+const (
+	detImmediate detectPolicy = iota
+	detScrub
+	detLatency
+)
+
+// policy parses Config.Detection ("" selects immediate, the
+// historical behavior).
+func (c Config) policy() (detectPolicy, error) {
+	switch c.Detection {
+	case "", DetectImmediate:
+		return detImmediate, nil
+	case DetectScrub:
+		return detScrub, nil
+	case DetectLatency:
+		return detLatency, nil
+	}
+	return 0, fmt.Errorf("pagesim: unknown detection policy %q (want %q, %q or %q)",
+		c.Detection, DetectImmediate, DetectScrub, DetectLatency)
 }
 
 // Validate checks the configuration (code shape is validated when the
@@ -113,6 +189,14 @@ func (c Config) Validate() error {
 		return fmt.Errorf("pagesim: invalid horizon %v", c.Horizon)
 	case c.Trials <= 0:
 		return fmt.Errorf("pagesim: need at least one trial")
+	case c.DetectionLatency < 0 || math.IsNaN(c.DetectionLatency) || math.IsInf(c.DetectionLatency, 1):
+		// +Inf would be a legal "never located", but DetectScrub with
+		// no scrubbing already expresses that; rejecting non-finite
+		// keeps the location instants finite arithmetic.
+		return fmt.Errorf("pagesim: invalid detection latency %v", c.DetectionLatency)
+	}
+	if _, err := c.policy(); err != nil {
+		return err
 	}
 	if c.BurstPerKilobit > 0 {
 		if err := c.dist().Validate(); err != nil {
@@ -161,7 +245,32 @@ const (
 	// the subset the guarantee speaks about.
 	CounterSingleBurstTrials = "single_burst_trials"
 	CounterSingleBurstLosses = "single_burst_losses"
+
+	// Location counters, reported only under a non-immediate detection
+	// policy (the immediate policy keeps the historical counter set so
+	// its campaign artifacts stay byte-identical).
+	// CounterLocatedColumns totals the stuck columns the controller
+	// located before the mission ended; CounterStuckUnlocatedReads
+	// totals the decodes (scrub passes and final reads) that ran while
+	// at least one stuck column was still unlocated — every one of
+	// them paid error-decoding rates for a fault erasure decoding
+	// would have absorbed.
+	CounterLocatedColumns      = "located_columns"
+	CounterStuckUnlocatedReads = "stuck_unlocated_reads"
+
+	// CounterScrubDecodeErrors counts scrub passes abandoned because
+	// the page decode (or the rewrite re-encode) failed structurally.
+	// Such failures are impossible for a validated configuration, so
+	// the counter is normally absent; a nonzero value is surfaced by
+	// cmd/campaign instead of being silently swallowed (the abandoned
+	// pass is excluded from scrub_ops).
+	CounterScrubDecodeErrors = "scrub_decode_errors"
 )
+
+// SeriesTimeToLocation labels the per-column location samples emitted
+// under non-immediate detection policies: x is the strike instant in
+// hours, y the hours the column stayed unlocated.
+const SeriesTimeToLocation = "time_to_location"
 
 // Result aggregates a campaign.
 type Result struct {
@@ -182,6 +291,12 @@ type Result struct {
 
 	SingleBurstTrials int64
 	SingleBurstLosses int64
+
+	// Location statistics (zero under the immediate policy, where
+	// every stuck column is located at its strike instant).
+	LocatedColumns      int64
+	StuckUnlocatedReads int64
+	ScrubDecodeErrors   int64
 }
 
 // LossFraction is the observed page-loss probability.
@@ -191,9 +306,10 @@ func (r *Result) LossFraction() float64 {
 
 // scenario adapts a validated Config to the campaign engine.
 type scenario struct {
-	cfg  Config
-	dist burstlen.Dist
-	page *interleave.Page
+	cfg    Config
+	dist   burstlen.Dist
+	policy detectPolicy
+	page   *interleave.Page
 }
 
 // NewPage builds the interleaved page layout the configuration
@@ -238,35 +354,50 @@ func Scenario(cfg Config) (campaign.Scenario, error) {
 		// construction.
 		return nil, fmt.Errorf("pagesim: burst of %d bits exceeds the %d-bit stored page", cfg.BurstBits, storedBits)
 	}
-	return &scenario{cfg: cfg, dist: dist, page: page}, nil
+	policy, err := cfg.policy()
+	if err != nil {
+		return nil, err
+	}
+	return &scenario{cfg: cfg, dist: dist, policy: policy, page: page}, nil
 }
 
 // Name encodes the full configuration so checkpoints from a different
 // campaign are rejected rather than silently merged. Fixed-length
-// bursts keep the historical "bb=<bits>" form so their checkpoints
-// stay resumable.
+// bursts keep the historical "bb=<bits>" form, and the immediate
+// detection policy omits its suffix entirely, so pre-existing
+// checkpoints stay resumable.
 func (s *scenario) Name() string {
 	c := s.cfg
 	code := s.page.Code()
-	return fmt.Sprintf("pagesim:RS(%d,%d)/m=%d:depth=%d:lb=%g:bpk=%g:bb=%s:lc=%g:scrub=%g:exp=%t:h=%g:seed=%d",
+	name := fmt.Sprintf("pagesim:RS(%d,%d)/m=%d:depth=%d:lb=%g:bpk=%g:bb=%s:lc=%g:scrub=%g:exp=%t:h=%g:seed=%d",
 		code.N(), code.K(), code.Field().M(), s.page.Depth(),
 		c.LambdaBit, c.BurstPerKilobit, s.dist, c.LambdaColumn,
 		c.ScrubPeriod, c.ExponentialScrub, c.Horizon, c.Seed)
+	switch s.policy {
+	case detScrub:
+		name += ":det=scrub"
+	case detLatency:
+		name += fmt.Sprintf(":det=latency/%g", c.DetectionLatency)
+	}
+	return name
 }
 
 // Trials implements campaign.Scenario.
 func (s *scenario) Trials() int { return s.cfg.Trials }
 
 // NewWorker implements campaign.Scenario.
-func (s *scenario) NewWorker() (campaign.Worker, error) { return newWorker(s.cfg, s.dist, s.page), nil }
+func (s *scenario) NewWorker() (campaign.Worker, error) {
+	return newWorker(s.cfg, s.dist, s.policy, s.page), nil
+}
 
 // worker owns the per-goroutine scratch of a page campaign: the
 // reusable page codec, the RNG (reseeded per trial), the stored-page
 // state and every erasure/reencode buffer, so the steady state
 // performs no per-trial heap allocation.
 type worker struct {
-	cfg  Config
-	dist burstlen.Dist
+	cfg    Config
+	dist   burstlen.Dist
+	policy detectPolicy
 	// guaranteeBits is the longest bit burst CorrectableBurst
 	// guarantees against: (depth*t-1)*m+1 stored bits touch at most
 	// depth*t symbols.
@@ -281,17 +412,25 @@ type worker struct {
 	stored []gf.Elem // current stored page
 	reenc  []gf.Elem // re-encoded page for scrub rewrites
 
-	stuck    []bool // whole-symbol stuck-at flags
-	erasures []int  // located stuck columns for the decoder
-	failed   []bool // per-stripe failed-decode scratch for scrub rewrites
+	stuck    []bool    // whole-symbol stuck-at flags (physical)
+	located  []bool    // stuck columns known to the controller
+	strikeT  []float64 // strike instant per stuck column (hours)
+	erasures []int     // located stuck columns for the decoder
+	failed   []bool    // per-stripe failed-decode scratch for scrub rewrites
 	res      interleave.DecodeResult
+
+	// Per-trial location bookkeeping (reset by Trial).
+	unlocated    int // stuck columns the controller has not located yet
+	trialLocated int // columns located during this trial
+	unlocReads   int // decodes that saw >= 1 unlocated stuck column
 }
 
-func newWorker(cfg Config, dist burstlen.Dist, page *interleave.Page) *worker {
+func newWorker(cfg Config, dist burstlen.Dist, policy detectPolicy, page *interleave.Page) *worker {
 	m := page.Code().Field().M()
 	w := &worker{
 		cfg:           cfg,
 		dist:          dist,
+		policy:        policy,
 		guaranteeBits: (page.CorrectableBurst()-1)*m + 1,
 		page:          page,
 		codec:         page.NewCodec(),
@@ -301,6 +440,8 @@ func newWorker(cfg Config, dist burstlen.Dist, page *interleave.Page) *worker {
 		stored:        make([]gf.Elem, page.StoredSymbols()),
 		reenc:         make([]gf.Elem, page.StoredSymbols()),
 		stuck:         make([]bool, page.StoredSymbols()),
+		located:       make([]bool, page.StoredSymbols()),
+		strikeT:       make([]float64, page.StoredSymbols()),
 		erasures:      make([]int, 0, page.StoredSymbols()),
 		failed:        make([]bool, page.Depth()),
 	}
@@ -335,7 +476,9 @@ func (w *worker) Trial(trial int, acc *campaign.Acc) error {
 	copy(w.stored, w.truth)
 	for i := range w.stuck {
 		w.stuck[i] = false
+		w.located[i] = false
 	}
+	w.unlocated, w.trialLocated, w.unlocReads = 0, 0, 0
 
 	// Per-page event rates (per hour).
 	seuRate := cfg.LambdaBit * float64(storedBits)
@@ -354,7 +497,7 @@ func (w *worker) Trial(trial int, acc *campaign.Acc) error {
 		}
 		if nextScrub < tEvent && nextScrub < cfg.Horizon {
 			t = nextScrub
-			w.doScrub(acc)
+			w.doScrub(t, trial, acc)
 			nextScrub = w.sched.Next(t)
 			continue
 		}
@@ -381,8 +524,19 @@ func (w *worker) Trial(trial int, acc *campaign.Acc) error {
 			bursts++
 		default:
 			s := rng.Intn(storedSymbols)
-			w.stuck[s] = true
-			w.stored[s] = gf.Elem(rng.Intn(page.Code().Field().Size()))
+			// The stuck value is drawn even on a re-strike of an
+			// already-dead column, preserving the historical RNG stream.
+			v := gf.Elem(rng.Intn(page.Code().Field().Size()))
+			if !w.stuck[s] {
+				w.stuck[s] = true
+				w.strikeT[s] = t
+				if w.policy == detImmediate {
+					w.located[s] = true
+				} else {
+					w.unlocated++
+				}
+			}
+			w.stored[s] = v
 			cols++
 		}
 	}
@@ -392,6 +546,10 @@ func (w *worker) Trial(trial int, acc *campaign.Acc) error {
 	acc.Add(CounterStuckColumns, int64(cols))
 
 	// Final read at the horizon.
+	if w.policy == detLatency {
+		w.locateByLatency(cfg.Horizon, trial, acc)
+	}
+	w.noteUnlocatedRead()
 	if err := w.decode(); err != nil {
 		return err
 	}
@@ -427,7 +585,50 @@ func (w *worker) Trial(trial int, acc *campaign.Acc) error {
 	default:
 		acc.Add(CounterPageCorrect, 1)
 	}
+	if w.policy != detImmediate {
+		// Reported unconditionally (including zeros) so every
+		// non-immediate campaign carries the keys; the immediate policy
+		// omits them to keep its artifacts byte-identical to earlier
+		// releases.
+		acc.Add(CounterLocatedColumns, int64(w.trialLocated))
+		acc.Add(CounterStuckUnlocatedReads, int64(w.unlocReads))
+	}
 	return nil
+}
+
+// locate marks stuck column s as known to the controller after it
+// spent delay hours unlocated, and records the (strike, delay)
+// time-to-location sample. Taking the delay (not the location
+// instant) lets the latency policy report its exact configured value
+// instead of a strike+L-strike float roundoff.
+func (w *worker) locate(s int, delay float64, trial int, acc *campaign.Acc) {
+	w.located[s] = true
+	w.unlocated--
+	w.trialLocated++
+	acc.Sample(trial, SeriesTimeToLocation, w.strikeT[s], delay)
+}
+
+// locateByLatency promotes every stuck column whose fixed detection
+// latency has elapsed by time t (DetectLatency policy). Location only
+// matters at decode instants, so promotion runs lazily before each
+// decode instead of as explicit events in the fault loop.
+func (w *worker) locateByLatency(t float64, trial int, acc *campaign.Acc) {
+	if w.unlocated == 0 {
+		return
+	}
+	for s := range w.stuck {
+		if w.stuck[s] && !w.located[s] && w.strikeT[s]+w.cfg.DetectionLatency <= t {
+			w.locate(s, w.cfg.DetectionLatency, trial, acc)
+		}
+	}
+}
+
+// noteUnlocatedRead counts a decode that ran while at least one stuck
+// column was unlocated (and therefore consumed error capability).
+func (w *worker) noteUnlocatedRead() {
+	if w.policy != detImmediate && w.unlocated > 0 {
+		w.unlocReads++
+	}
 }
 
 // flipBit applies an SEU to one stored bit; stuck symbols do not
@@ -443,11 +644,14 @@ func (w *worker) flipBit(bit int) {
 
 // decode runs the page decoder on the stored page (DecodeTo never
 // mutates its input) with the located stuck columns as erasures, into
-// w.res.
+// w.res. Stuck columns the controller has not located yet are plain
+// errors: they consume twice the correction budget and can
+// miscorrect, which is exactly the located/unlocated asymmetry the
+// detection policies model.
 func (w *worker) decode() error {
 	w.erasures = w.erasures[:0]
-	for s, st := range w.stuck {
-		if st {
+	for s, loc := range w.located {
+		if loc {
 			w.erasures = append(w.erasures, s)
 		}
 	}
@@ -457,20 +661,30 @@ func (w *worker) decode() error {
 	return nil
 }
 
-// doScrub decodes, corrects and rewrites the page. Stripes that fail
-// to decode are left untouched (the controller has nothing better to
-// write back); stuck columns reassert themselves through the rewrite.
-func (w *worker) doScrub(acc *campaign.Acc) {
-	acc.Add(CounterScrubOps, 1)
+// doScrub decodes, corrects and rewrites the page at time t. Stripes
+// that fail to decode are left untouched (the controller has nothing
+// better to write back); stuck columns reassert themselves through
+// the rewrite. Under the scrub detection policy, an unlocated stuck
+// column whose symbol the (successful) decode corrected has been
+// observed deviating and becomes located for every later decode.
+func (w *worker) doScrub(t float64, trial int, acc *campaign.Acc) {
+	if w.policy == detLatency {
+		w.locateByLatency(t, trial, acc)
+	}
+	w.noteUnlocatedRead()
 	if err := w.decode(); err != nil {
-		// Decode errors here are structural (impossible for a validated
-		// config); surface them at the final read instead of silently
-		// skipping the scrub.
+		// Structural decode failures are impossible for a validated
+		// config; count them (the pass did not complete, so it is not a
+		// scrub_op) instead of silently swallowing the error — a
+		// nonzero counter is surfaced by cmd/campaign.
+		acc.Add(CounterScrubDecodeErrors, 1)
 		return
 	}
 	if err := w.codec.EncodeTo(w.reenc, w.res.Data); err != nil {
+		acc.Add(CounterScrubDecodeErrors, 1)
 		return
 	}
+	acc.Add(CounterScrubOps, 1)
 	depth := w.page.Depth()
 	for s := range w.failed {
 		w.failed[s] = false
@@ -479,7 +693,16 @@ func (w *worker) doScrub(acc *campaign.Acc) {
 		w.failed[s] = true
 	}
 	for idx := range w.reenc {
-		if w.failed[idx%depth] || w.stuck[idx] {
+		if w.failed[idx%depth] {
+			continue
+		}
+		if w.stuck[idx] {
+			// The dead column reasserts itself through the rewrite; if
+			// the corrected codeword disagrees with what it drives, the
+			// controller has observed the deviation.
+			if w.policy == detScrub && !w.located[idx] && w.stored[idx] != w.reenc[idx] {
+				w.locate(idx, t-w.strikeT[idx], trial, acc)
+			}
 			continue
 		}
 		w.stored[idx] = w.reenc[idx]
@@ -503,6 +726,10 @@ func ResultFromCampaign(cfg Config, cres *campaign.Result) *Result {
 		ScrubOps:          cres.Counter(CounterScrubOps),
 		SingleBurstTrials: cres.Counter(CounterSingleBurstTrials),
 		SingleBurstLosses: cres.Counter(CounterSingleBurstLosses),
+
+		LocatedColumns:      cres.Counter(CounterLocatedColumns),
+		StuckUnlocatedReads: cres.Counter(CounterStuckUnlocatedReads),
+		ScrubDecodeErrors:   cres.Counter(CounterScrubDecodeErrors),
 	}
 }
 

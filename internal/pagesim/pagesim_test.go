@@ -410,3 +410,263 @@ func BenchmarkPageCampaign(b *testing.B) {
 		}
 	}
 }
+
+// goldenCounters pins the exact campaign counters of the pre-detection
+// simulator (captured at the commit introducing detection policies)
+// for two fixed-seed configurations. The immediate policy — spelled
+// "" or "immediate" — must reproduce them bit for bit: same RNG
+// stream, same counter set (no location keys), same scenario name.
+func goldenCounters(t *testing.T, cfg Config, wantName string, want map[string]int64) {
+	t.Helper()
+	for _, detection := range []string{"", DetectImmediate} {
+		c := cfg
+		c.Detection = detection
+		scn := mustScenario(t, c)
+		if scn.Name() != wantName {
+			t.Fatalf("detection %q renamed the scenario:\ngot  %s\nwant %s", detection, scn.Name(), wantName)
+		}
+		cres, err := campaign.Run(scn, campaign.Config{Workers: 4, ShardSize: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(cres.Counters, want) {
+			t.Errorf("detection %q diverged from the historical outputs:\ngot  %v\nwant %v",
+				detection, cres.Counters, want)
+		}
+		if len(cres.Samples) != 0 {
+			t.Errorf("detection %q emitted %d samples; the immediate policy must not", detection, len(cres.Samples))
+		}
+	}
+}
+
+func TestImmediatePolicyMatchesHistoricalOutputs(t *testing.T) {
+	goldenCounters(t, mixedConfig(),
+		"pagesim:RS(18,16)/m=8:depth=4:lb=0.0001:bpk=0.05:bb=12:lc=0.0002:scrub=8:exp=false:h=48:seed=42",
+		map[string]int64{
+			"bursts":              1204,
+			"corrected_symbols":   736,
+			"failed_stripes":      623,
+			"page_correct":        347,
+			"page_loss":           453,
+			"page_silent_loss":    25,
+			"scrub_ops":           4000,
+			"seus":                2077,
+			"single_burst_trials": 14,
+			"stuck_columns":       486,
+		})
+	goldenCounters(t,
+		Config{Depth: 2, LambdaColumn: 4e-3, ScrubPeriod: 6, Horizon: 48, Trials: 500, Seed: 7},
+		"pagesim:RS(18,16)/m=8:depth=2:lb=0:bpk=0:bb=0:lc=0.004:scrub=6:exp=false:h=48:seed=7",
+		map[string]int64{
+			"bursts":            0,
+			"corrected_symbols": 522,
+			"failed_stripes":    649,
+			"page_correct":      57,
+			"page_loss":         443,
+			"scrub_ops":         3500,
+			"seus":              0,
+			"stuck_columns":     3484,
+		})
+}
+
+// detectionConfig is the location-model workhorse: a stuck-column
+// dominated environment with background SEUs and periodic scrubbing.
+func detectionConfig(detection string) Config {
+	return Config{
+		Depth:            2,
+		LambdaBit:        1e-5,
+		LambdaColumn:     1.5e-3,
+		ScrubPeriod:      6,
+		Detection:        detection,
+		DetectionLatency: 8,
+		Horizon:          48,
+		Trials:           1500,
+		Seed:             11,
+	}
+}
+
+// TestDetectionPolicyDeterminism: every policy's merged campaign is
+// bit-identical for any worker count.
+func TestDetectionPolicyDeterminism(t *testing.T) {
+	for _, detection := range []string{DetectImmediate, DetectScrub, DetectLatency} {
+		scn := mustScenario(t, detectionConfig(detection))
+		var results []*campaign.Result
+		for _, workers := range []int{1, 4, 8} {
+			cres, err := campaign.Run(scn, campaign.Config{Workers: workers, ShardSize: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			results = append(results, cres)
+		}
+		for i := 1; i < len(results); i++ {
+			if !reflect.DeepEqual(results[0], results[i]) {
+				t.Errorf("detection %q: worker count changed results", detection)
+			}
+		}
+	}
+}
+
+// TestDetectionMonotonicity: on a shared seed set, locating stuck
+// columns earlier can only help — page loss under immediate location
+// must stay below fixed-latency location, which must stay below a
+// latency that never elapses (never located). The fault histories are
+// identical across policies (location consumes no randomness), so the
+// ordering isolates exactly what the free-erasures assumption bought.
+func TestDetectionMonotonicity(t *testing.T) {
+	loss := func(detection string, latency float64) float64 {
+		cfg := detectionConfig(detection)
+		cfg.DetectionLatency = latency
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.StuckColumns == 0 {
+			t.Fatal("no stuck columns injected")
+		}
+		return res.LossFraction()
+	}
+	immediate := loss(DetectImmediate, 0)
+	latency := loss(DetectLatency, 8)
+	never := loss(DetectLatency, 1e8)
+	if !(immediate < latency && latency < never) {
+		t.Errorf("page loss not monotone in detection delay: immediate %v, latency %v, never %v",
+			immediate, latency, never)
+	}
+	// A zero latency locates every column before any decode sees it,
+	// reproducing the immediate outcomes on the same seeds.
+	if zero := loss(DetectLatency, 0); zero != immediate {
+		t.Errorf("zero-latency loss %v differs from immediate %v", zero, immediate)
+	}
+}
+
+// TestScrubDetectionLocates: under the scrub policy, columns become
+// located only through scrub observations — never without scrubbing —
+// and unlocated columns cost real reliability versus immediate
+// location on the same seeds.
+func TestScrubDetectionLocates(t *testing.T) {
+	cfg := detectionConfig(DetectScrub)
+	scn := mustScenario(t, cfg)
+	cres, err := campaign.Run(scn, campaign.Config{Workers: 4, ShardSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ResultFromCampaign(cfg, cres)
+	if res.LocatedColumns == 0 {
+		t.Fatal("scrub observation never located a column")
+	}
+	if res.LocatedColumns > res.StuckColumns {
+		t.Errorf("located %d of %d stuck columns", res.LocatedColumns, res.StuckColumns)
+	}
+	if res.StuckUnlocatedReads == 0 {
+		t.Error("no decode ever saw an unlocated stuck column")
+	}
+	immediate, err := Run(detectionConfig(DetectImmediate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.LossFraction() > immediate.LossFraction()) {
+		t.Errorf("scrub-located loss %v not above immediate %v: free erasures cost nothing?",
+			res.LossFraction(), immediate.LossFraction())
+	}
+
+	// Every location observation is a valid (strike, delay) pair.
+	xs, ys := cres.SeriesPoints(SeriesTimeToLocation)
+	if int64(len(xs)) != res.LocatedColumns {
+		t.Fatalf("%d time_to_location samples for %d located columns", len(xs), res.LocatedColumns)
+	}
+	for i := range xs {
+		if xs[i] < 0 || xs[i] > cfg.Horizon || ys[i] < 0 || xs[i]+ys[i] > cfg.Horizon {
+			t.Fatalf("sample %d: strike %v + delay %v outside the mission", i, xs[i], ys[i])
+		}
+	}
+
+	// Without scrubbing there is no observation channel at all.
+	unscrubbed := cfg
+	unscrubbed.ScrubPeriod = 0
+	noScrub, err := Run(unscrubbed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noScrub.LocatedColumns != 0 {
+		t.Errorf("%d columns located without any scrub pass", noScrub.LocatedColumns)
+	}
+}
+
+// TestLatencyDetectionSamples: under the latency policy every located
+// column reports exactly the configured strike-to-location delay.
+func TestLatencyDetectionSamples(t *testing.T) {
+	cfg := detectionConfig(DetectLatency)
+	scn := mustScenario(t, cfg)
+	cres, err := campaign.Run(scn, campaign.Config{Workers: 4, ShardSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ResultFromCampaign(cfg, cres)
+	if res.LocatedColumns == 0 {
+		t.Fatal("latency policy never located a column")
+	}
+	xs, ys := cres.SeriesPoints(SeriesTimeToLocation)
+	if int64(len(xs)) != res.LocatedColumns {
+		t.Fatalf("%d time_to_location samples for %d located columns", len(xs), res.LocatedColumns)
+	}
+	for i := range ys {
+		if ys[i] != cfg.DetectionLatency {
+			t.Fatalf("sample %d: delay %v, want the fixed latency %v", i, ys[i], cfg.DetectionLatency)
+		}
+		if xs[i]+cfg.DetectionLatency > cfg.Horizon {
+			t.Fatalf("sample %d: column located at %v, after the horizon", i, xs[i]+cfg.DetectionLatency)
+		}
+	}
+}
+
+// TestDetectionValidation: unknown policies and bad latencies are
+// rejected up front.
+func TestDetectionValidation(t *testing.T) {
+	base := Config{Depth: 2, Horizon: 1, Trials: 1}
+	bad := base
+	bad.Detection = "eventually"
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown detection policy accepted")
+	}
+	bad = base
+	bad.DetectionLatency = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative detection latency accepted")
+	}
+	bad = base
+	bad.Detection = DetectLatency
+	bad.DetectionLatency = math.Inf(1)
+	if err := bad.Validate(); err == nil {
+		t.Error("infinite detection latency accepted")
+	}
+	ok := base
+	ok.Detection = DetectScrub
+	if err := ok.Validate(); err != nil {
+		t.Errorf("scrub policy rejected: %v", err)
+	}
+}
+
+// TestScrubDecodeErrorCounted: a scrub pass whose decode fails
+// structurally must count scrub_decode_errors and must not count as a
+// completed scrub_op (the historical code swallowed the error after
+// counting the op).
+func TestScrubDecodeErrorCounted(t *testing.T) {
+	scn := mustScenario(t, Config{Depth: 2, ScrubPeriod: 1, Horizon: 2, Trials: 1, Seed: 1})
+	cw, err := scn.NewWorker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := cw.(*worker)
+	acc := campaign.NewAcc()
+	// Truncating the stored page makes the decode fail structurally —
+	// the only failure class DecodeTo reports as an error (capability
+	// overflow lands in FailedStripes instead).
+	w.stored = w.stored[:len(w.stored)-1]
+	w.doScrub(1, 0, acc)
+	if got := acc.Counter(CounterScrubDecodeErrors); got != 1 {
+		t.Errorf("scrub_decode_errors = %d, want 1", got)
+	}
+	if got := acc.Counter(CounterScrubOps); got != 0 {
+		t.Errorf("abandoned scrub pass counted as %d completed scrub_ops", got)
+	}
+}

@@ -86,9 +86,10 @@ func (p *Plot) Render() string {
 		b.WriteString("(no drawable samples)\n")
 		return b.String()
 	}
-	if xmax == xmin {
-		xmax = xmin + 1
-	}
+	// A single distinct x has no axis span to interpolate: the points
+	// render in the center column and the axis line names the one true
+	// value instead of fabricating a right edge no sample has.
+	singleX := xmax == xmin
 	if ymax == ymin {
 		ymax = ymin + 1
 	}
@@ -103,7 +104,10 @@ func (p *Plot) Render() string {
 	for i, curve := range curves {
 		mark := markers[i%len(markers)]
 		for _, q := range curve {
-			c := int(math.Round((q.x - xmin) / (xmax - xmin) * float64(width-1)))
+			c := (width - 1) / 2
+			if !singleX {
+				c = int(math.Round((q.x - xmin) / (xmax - xmin) * float64(width-1)))
+			}
 			r := int(math.Round((q.y - ymin) / (ymax - ymin) * float64(height-1)))
 			row := height - 1 - r
 			if row >= 0 && row < height && c >= 0 && c < width {
@@ -131,13 +135,22 @@ func (p *Plot) Render() string {
 		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
 	}
 	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 9), strings.Repeat("-", width))
-	left := fmt.Sprintf("%.4g", xmin)
-	right := fmt.Sprintf("%.4g", xmax)
-	pad := width - len(left) - len(right)
-	if pad < 1 {
-		pad = 1
+	if singleX {
+		label := fmt.Sprintf("%.4g (single x)", xmin)
+		lead := (width - len(label)) / 2
+		if lead < 0 {
+			lead = 0
+		}
+		fmt.Fprintf(&b, "%s  %s%s", strings.Repeat(" ", 9), strings.Repeat(" ", lead), label)
+	} else {
+		left := fmt.Sprintf("%.4g", xmin)
+		right := fmt.Sprintf("%.4g", xmax)
+		pad := width - len(left) - len(right)
+		if pad < 1 {
+			pad = 1
+		}
+		fmt.Fprintf(&b, "%s  %s%s%s", strings.Repeat(" ", 9), left, strings.Repeat(" ", pad), right)
 	}
-	fmt.Fprintf(&b, "%s  %s%s%s", strings.Repeat(" ", 9), left, strings.Repeat(" ", pad), right)
 	if p.XLabel != "" {
 		fmt.Fprintf(&b, "  (%s)", p.XLabel)
 	}

@@ -242,3 +242,47 @@ func TestHeatmapDegenerate(t *testing.T) {
 		t.Errorf("ragged heatmap accepted: %q", out)
 	}
 }
+
+// TestRenderSingleX: when every sample shares one x value there is no
+// axis span to interpolate; the axis line must name the true value
+// (annotated, centered) instead of fabricating a right edge at x+1
+// that no sample has, and the marks must sit in the center column.
+func TestRenderSingleX(t *testing.T) {
+	p := &Plot{
+		Width:  21,
+		Height: 5,
+		Series: []Series{
+			{Label: "flat", X: []float64{5, 5, 5}, Y: []float64{1, 2, 3}},
+		},
+	}
+	out := p.Render()
+	if !strings.Contains(out, "5 (single x)") {
+		t.Errorf("single-x axis not annotated with the true value:\n%s", out)
+	}
+	if strings.Contains(out, "6") {
+		t.Errorf("fabricated xmax=xmin+1 leaked into the axis:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		// Plot rows render as "<9-char label> |<plot area>"; skip the
+		// legend and axis lines, which also contain the marker rune.
+		if !strings.Contains(line, "|") {
+			continue
+		}
+		if i := strings.IndexRune(line, '*'); i >= 0 {
+			// The center of a 21-column plot area is column 10.
+			if col := i - strings.IndexRune(line, '|') - 1; col != 10 {
+				t.Errorf("mark at plot column %d, want centered 10:\n%s", col, out)
+			}
+		}
+	}
+
+	// Multi-x plots keep the two-ended axis.
+	p.Series[0].X = []float64{4, 5, 6}
+	out = p.Render()
+	if strings.Contains(out, "(single x)") {
+		t.Errorf("multi-x plot annotated as single x:\n%s", out)
+	}
+	if !strings.Contains(out, "4") || !strings.Contains(out, "6") {
+		t.Errorf("axis extremes missing:\n%s", out)
+	}
+}
