@@ -32,6 +32,12 @@ func TestParseBench(t *testing.T) {
 	if e.NsPerOp != 112.0 || e.AllocsPerOp != 0 {
 		t.Errorf("encode entry %+v", e)
 	}
+	if e.MBPerS != 160.71 {
+		t.Errorf("MB/s not carried: %+v", e)
+	}
+	if e := got["BenchmarkDecodeClean/RS(18,16)"]; e.MBPerS != 0 {
+		t.Errorf("MB/s invented for a non-SetBytes benchmark: %+v", e)
+	}
 	if e := got["BenchmarkDecodeErrors/RS(36,16)/e=10"]; e.NsPerOp != 4796 {
 		t.Errorf("decode-errors entry %+v", e)
 	}
@@ -40,12 +46,12 @@ func TestParseBench(t *testing.T) {
 func TestParseBenchFoldsRepeats(t *testing.T) {
 	// -count=N repeats fold into min ns/op (one-sided noise) and max
 	// allocs/op (conservative gate).
-	text := "BenchmarkX-8 100 100 ns/op 1 allocs/op\nBenchmarkX-8 100 300 ns/op 3 allocs/op\n"
+	text := "BenchmarkX-8 100 100 ns/op 80.0 MB/s 1 allocs/op\nBenchmarkX-8 100 300 ns/op 30.0 MB/s 3 allocs/op\n"
 	got, err := parseBench(strings.NewReader(text))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if e := got["BenchmarkX"]; e.NsPerOp != 100 || e.AllocsPerOp != 3 {
+	if e := got["BenchmarkX"]; e.NsPerOp != 100 || e.AllocsPerOp != 3 || e.MBPerS != 80 {
 		t.Errorf("folded entry %+v", e)
 	}
 }
@@ -119,5 +125,27 @@ func TestCompareReportsNewBenchmarks(t *testing.T) {
 	}
 	if strings.Contains(out, "NEW  BenchmarkOld") {
 		t.Errorf("baselined benchmark reported as new:\n%s", out)
+	}
+}
+
+// TestCompareThroughputReportOnly: MB/s appears in the report but a
+// throughput drop never gates (the latency gate already covers it).
+func TestCompareThroughputReportOnly(t *testing.T) {
+	base := map[string]Entry{"BenchmarkT": {NsPerOp: 100, MBPerS: 500}}
+	current := map[string]Entry{"BenchmarkT": {NsPerOp: 101, MBPerS: 200}}
+	var buf bytes.Buffer
+	failures, compared := compare(base, current, 0.25, false, &buf)
+	if failures != 0 || compared != 1 {
+		t.Errorf("failures=%d compared=%d, want 0/1:\n%s", failures, compared, buf.String())
+	}
+	if !strings.Contains(buf.String(), "MB/s 500.0 -> 200.0") {
+		t.Errorf("throughput column missing:\n%s", buf.String())
+	}
+
+	// NEW lines carry the throughput too.
+	buf.Reset()
+	compare(map[string]Entry{}, map[string]Entry{"BenchmarkN": {NsPerOp: 10, MBPerS: 123.4}}, 0.25, false, &buf)
+	if !strings.Contains(buf.String(), "MB/s 123.4") {
+		t.Errorf("NEW line missing throughput:\n%s", buf.String())
 	}
 }

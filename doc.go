@@ -38,6 +38,29 @@
 // internal/rs (go test ./internal/rs -bench . -benchmem) and gated by
 // its TestSteadyStateZeroAllocs.
 //
+// # Batch decode: the syndrome-first scrub path
+//
+// Scrub-scale workloads invert the decoder's cost profile: a scrub
+// pass decodes every stored word, and almost all of them are clean, so
+// the per-word pipeline wastes its Berlekamp-Massey/Chien machinery on
+// words whose syndromes would have said "nothing to do". The batch
+// layer (rs.Batch, rs.Code.NewBatchDecoder, rs.BatchDecoder.DecodeAll)
+// decodes a contiguous word arena by screening every erasure-free word
+// with a packed syndrome-contribution table — a few wide XORs per
+// symbol instead of d dependent multiplies — and runs the full
+// per-word workspace only for words with dirty syndromes or declared
+// erasures, correcting them in place. Outcomes are guaranteed
+// word-for-word identical to rs.Decoder.Decode (the equivalence
+// property test in internal/rs enforces this, and fixed-seed golden
+// tests in pagesim and memsim pin the simulators' outputs across the
+// switch), and the steady state allocates nothing. On the CI reference
+// machine the clean-arena screen decodes RS(255,223) about 7x faster
+// than the per-word path (~1.1 us vs ~8.5 us per word, >200 MB/s).
+// interleave.Codec.DecodeTo decodes each page as one depth-word arena,
+// which pagesim inherits, and the memsim worker batches its simplex
+// word or duplex pair the same way, so every Monte Carlo scrub loop
+// rides the fast path.
+//
 // # The campaign engine: plan, execute, merge
 //
 // Every experiment — Monte Carlo fault injection (memsim), multi-bit

@@ -161,14 +161,17 @@ func (p *Page) decodeInto(res *DecodeResult, stored []gf.Elem, perStripe [][]int
 }
 
 // Codec is a reusable page encode/decode workspace: it owns the
-// stripe scratch, the per-stripe erasure lists and one rs.Decoder, so
-// steady-state page traffic (the pagesim Monte Carlo, a controller
-// model pushing millions of pages) performs no per-page heap
-// allocation. A Codec is not safe for concurrent use; campaigns hold
-// one per worker goroutine.
+// stripe scratch, the per-stripe erasure lists, a deinterleaved word
+// arena and one rs.BatchDecoder, so steady-state page traffic (the
+// pagesim Monte Carlo, a controller model pushing millions of pages)
+// performs no per-page heap allocation, and pages whose stripes are
+// mostly clean decode at the batch syndrome-screen rate rather than
+// the full per-stripe decoder rate. A Codec is not safe for concurrent
+// use; campaigns hold one per worker goroutine.
 type Codec struct {
 	page       *Page
-	dec        *rs.Decoder
+	bdec       *rs.BatchDecoder
+	arena      []gf.Elem // depth words of n symbols, stride n
 	stripeData []gf.Elem
 	stripeCW   []gf.Elem
 	perStripe  [][]int
@@ -178,7 +181,8 @@ type Codec struct {
 func (p *Page) NewCodec() *Codec {
 	c := &Codec{
 		page:       p,
-		dec:        p.code.NewDecoder(),
+		bdec:       p.code.NewBatchDecoder(),
+		arena:      make([]gf.Elem, p.depth*p.code.N()),
 		stripeData: make([]gf.Elem, p.code.K()),
 		stripeCW:   make([]gf.Elem, p.code.N()),
 		perStripe:  make([][]int, p.depth),
@@ -207,7 +211,11 @@ func (c *Codec) EncodeTo(stored, data []gf.Elem) error {
 
 // DecodeTo decodes a stored page into res, recycling res's buffers
 // (Data and FailedStripes are resized in place, so the steady state
-// allocates nothing). The semantics match Page.Decode exactly.
+// allocates nothing). The semantics match Page.Decode exactly —
+// rs.DecodeAll guarantees every stripe the outcome Decoder.Decode
+// would have produced — but the page is decoded as one word arena, so
+// healthy stripes cost only the batch syndrome screen and the full
+// decode pipeline runs just for the stripes that need it.
 func (c *Codec) DecodeTo(res *DecodeResult, stored []gf.Elem, erasures []int) error {
 	p := c.page
 	if len(stored) != p.StoredSymbols() {
@@ -225,5 +233,31 @@ func (c *Codec) DecodeTo(res *DecodeResult, stored []gf.Elem, erasures []int) er
 	res.Data = res.Data[:p.DataSymbols()]
 	res.CorrectedSymbols = 0
 	res.FailedStripes = res.FailedStripes[:0]
-	return p.decodeInto(res, stored, c.perStripe, c.stripeCW, c.dec.Decode)
+
+	n, k, depth := p.code.N(), p.code.K(), p.depth
+	for s := 0; s < depth; s++ {
+		word := c.arena[s*n : (s+1)*n]
+		for j := 0; j < n; j++ {
+			word[j] = stored[j*depth+s]
+		}
+	}
+	bres, err := c.bdec.DecodeAll(rs.Batch{Words: c.arena, Stride: n, Count: depth}, c.perStripe)
+	if err != nil {
+		return err
+	}
+	// Corrected stripes were repaired in the arena; failed stripes were
+	// left as received, which is exactly what the per-stripe path
+	// contributes for them.
+	for s := 0; s < depth; s++ {
+		if bres.Words[s].Err != nil {
+			res.FailedStripes = append(res.FailedStripes, s)
+		} else {
+			res.CorrectedSymbols += bres.Words[s].Corrections
+		}
+		word := c.arena[s*n:]
+		for j := 0; j < k; j++ {
+			res.Data[j*depth+s] = word[j]
+		}
+	}
+	return nil
 }

@@ -259,23 +259,29 @@ func (mo *module) erasuresInto(buf []int, t float64) []int {
 
 // worker owns the per-goroutine scratch of a campaign: the recycled
 // modules, the RNG (reseeded per trial for worker-count-independent
-// reproducibility), the decode workspaces and arbiter, and every
+// reproducibility), the batch decode workspace and arbiter, and every
 // masking/erasure buffer — so the steady state of a campaign performs
-// no per-trial heap allocation.
+// no per-trial heap allocation. Scrub and simplex-read decodes run
+// through rs.DecodeAll over the pair arena: the simplex word (or the
+// two masked duplex words) decode as a one- or two-word batch, so a
+// healthy word costs only the batch syndrome screen while keeping
+// per-word outcomes identical to Decoder.Decode.
 type worker struct {
 	cfg   Config
 	rng   *rand.Rand
 	sched scrub.Scheduler
 
-	dec1, dec2 *rs.Decoder      // scrub/read decode workspaces
-	arb        *arbiter.Arbiter // duplex read path (owns its own decoders)
+	batch *rs.BatchDecoder // scrub/read decode workspace
+	arb   *arbiter.Arbiter // duplex read path (owns its own decoders)
 
 	data   []gf.Elem // dataword scratch
 	truth  []gf.Elem // ground-truth codeword
 	modBuf [2]module
 	mods   []*module
 
-	w1, w2     []gf.Elem // masked duplex words
+	pair       []gf.Elem // two-word decode arena, stride n
+	w1, w2     []gf.Elem // the arena's words (masked duplex words)
+	elists     [2][]int  // per-arena-word erasure lists for DecodeAll
 	set1, set2 []bool    // per-module erasure bitsets
 	shared     []int     // both-erased positions
 	e1, e2     []int     // erasure position lists
@@ -285,15 +291,16 @@ type worker struct {
 func newWorker(cfg Config) *worker {
 	code := cfg.Code
 	n, k := code.N(), code.K()
+	pair := make([]gf.Elem, 2*n)
 	w := &worker{
 		cfg:    cfg,
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		dec1:   code.NewDecoder(),
-		dec2:   code.NewDecoder(),
+		batch:  code.NewBatchDecoder(),
 		data:   make([]gf.Elem, k),
 		truth:  make([]gf.Elem, n),
-		w1:     make([]gf.Elem, n),
-		w2:     make([]gf.Elem, n),
+		pair:   pair,
+		w1:     pair[:n:n],
+		w2:     pair[n:],
 		set1:   make([]bool, n),
 		set2:   make([]bool, n),
 		shared: make([]int, 0, n),
@@ -491,6 +498,19 @@ func (ws *worker) maskPair(t float64) (w1, w2 []gf.Elem, shared []int) {
 	return w1, w2, shared
 }
 
+// decodePair batch-decodes the first count words of the pair arena
+// with the erasure lists staged in ws.elists. A failed word stays
+// as received in the arena; a successful one is corrected in place.
+func (ws *worker) decodePair(count int) *rs.BatchResult {
+	n := len(ws.truth)
+	bres, err := ws.batch.DecodeAll(
+		rs.Batch{Words: ws.pair[:count*n], Stride: n, Count: count}, ws.elists[:count])
+	if err != nil {
+		panic(fmt.Sprintf("memsim: batch decode: %v", err)) // arena shape is fixed
+	}
+	return bres
+}
+
 // doScrub reads, corrects and rewrites the stored word(s) through the
 // real decoder. A detected-uncorrectable word is left untouched; a
 // mis-corrected word is entrenched (and counted).
@@ -499,38 +519,40 @@ func (ws *worker) doScrub(t float64, acc *campaign.Acc) {
 	cfg := ws.cfg
 	if !cfg.Duplex {
 		mo := ws.mods[0]
-		res, err := ws.dec1.Decode(mo.stored, mo.erasuresInto(ws.e1, t))
-		if err != nil {
+		copy(ws.w1, mo.stored)
+		ws.elists[0] = mo.erasuresInto(ws.e1, t)
+		if ws.decodePair(1).Words[0].Err != nil {
 			return
 		}
-		mo.write(res.Codeword)
-		if !equalWords(res.Codeword, ws.truth) {
+		mo.write(ws.w1)
+		if !equalWords(ws.w1, ws.truth) {
 			acc.Add(CounterScrubMiscorrections, 1)
 		}
 		return
 	}
 	w1, w2, shared := ws.maskPair(t)
-	r1, err1 := ws.dec1.Decode(w1, shared)
-	r2, err2 := ws.dec2.Decode(w2, shared)
-	rewrite := func(mo *module, r *rs.Result) {
-		mo.write(r.Codeword)
-		if !equalWords(r.Codeword, ws.truth) {
+	ws.elists[0], ws.elists[1] = shared, shared
+	bres := ws.decodePair(2)
+	err1, err2 := bres.Words[0].Err, bres.Words[1].Err
+	rewrite := func(mo *module, codeword []gf.Elem) {
+		mo.write(codeword)
+		if !equalWords(codeword, ws.truth) {
 			acc.Add(CounterScrubMiscorrections, 1)
 		}
 	}
 	switch {
 	case err1 == nil && err2 == nil:
-		rewrite(ws.mods[0], r1)
-		rewrite(ws.mods[1], r2)
+		rewrite(ws.mods[0], w1)
+		rewrite(ws.mods[1], w2)
 	case err1 == nil:
-		rewrite(ws.mods[0], r1)
+		rewrite(ws.mods[0], w1)
 		if cfg.CrossRepair {
-			rewrite(ws.mods[1], r1) // resurrect the dead module from the live word
+			rewrite(ws.mods[1], w1) // resurrect the dead module from the live word
 		}
 	case err2 == nil:
-		rewrite(ws.mods[1], r2)
+		rewrite(ws.mods[1], w2)
 		if cfg.CrossRepair {
-			rewrite(ws.mods[0], r2)
+			rewrite(ws.mods[0], w2)
 		}
 	}
 }
@@ -546,15 +568,17 @@ func (ws *worker) finalRead(t float64, acc *campaign.Acc) {
 		if ws.exceedsCapability(mo.stored, erasures) {
 			acc.Add(CounterCapabilityExceeded, 1)
 		}
-		res, err := ws.dec1.Decode(mo.stored, erasures)
+		copy(ws.w1, mo.stored)
+		ws.elists[0] = erasures
+		data := ws.w1[:code.K()] // corrected in place on success
 		switch {
-		case err != nil:
+		case ws.decodePair(1).Words[0].Err != nil:
 			acc.Add(CounterNoOutput, 1)
-		case equalWords(res.Data, ws.truth[:code.K()]):
+		case equalWords(data, ws.truth[:code.K()]):
 			acc.Add(CounterCorrect, 1)
 		default:
 			acc.Add(CounterWrongOutput, 1)
-			acc.Add(CounterDataBitErrors, bitErrors(res.Data, ws.truth[:code.K()]))
+			acc.Add(CounterDataBitErrors, bitErrors(data, ws.truth[:code.K()]))
 		}
 		return
 	}

@@ -1,6 +1,9 @@
 package memsim
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"math"
 	"path/filepath"
@@ -558,6 +561,80 @@ func BenchmarkTrialDuplex(b *testing.B) {
 		cfg.Seed = int64(i)
 		if _, err := Run(cfg); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// batchGoldenCases are fixed-seed configurations whose complete
+// campaign output is pinned across the batch-decode switch: routing
+// the scrub and final-read decodes through rs.BatchDecoder.DecodeAll
+// must reproduce the per-word decode outcomes byte for byte (decoding
+// consumes no randomness, so any divergence is a decode-semantics
+// change, not noise).
+func batchGoldenCases() []struct {
+	name     string
+	cfg      Config
+	counters map[string]int64
+	digest   string
+} {
+	return []struct {
+		name     string
+		cfg      Config
+		counters map[string]int64
+		digest   string
+	}{
+		{
+			name: "simplex/scrub+latency",
+			cfg: Config{
+				Code: code, LambdaBit: 2e-4, LambdaSymbol: 1e-3,
+				ScrubPeriod: 6, DetectionLatency: 4,
+				Horizon: 48, Trials: 800, Seed: 5,
+			},
+			counters: map[string]int64{
+				"capability_exceeded": 290, "correct": 510, "data_bit_errors": 628,
+				"no_output": 212, "permanent_faults": 720, "scrub_miscorrections": 147,
+				"scrub_ops": 5600, "seus": 1060, "wrong_output": 78,
+			},
+			digest: "df0ea5af5e7b60eb421f2f55e9544efaac9c99951c2a25bad85c7c0b7b50efa4",
+		},
+		{
+			name: "duplex/scrub",
+			cfg: Config{
+				Code: code, Duplex: true, LambdaBit: 3e-4, LambdaSymbol: 8e-4,
+				ScrubPeriod: 8, Horizon: 48, Trials: 500, Seed: 9,
+			},
+			counters: map[string]int64{
+				"capability_exceeded": 222, "correct": 454, "data_bit_errors": 44,
+				"no_output": 39, "permanent_faults": 693, "scrub_miscorrections": 47,
+				"scrub_ops": 2500, "seus": 2151,
+				"verdict/both-failed": 33, "verdict/corrected-agree": 133,
+				"verdict/differ-no-flags": 6, "verdict/flag-resolved": 10,
+				"verdict/no-error": 145, "verdict/one-word-failed": 173,
+				"wrong_output": 7,
+			},
+			digest: "514887c9563b017358e3c6287b4394ba67310f9e520ac185f6d03d02d1cc4273",
+		},
+	}
+}
+
+func TestBatchGoldenOutputs(t *testing.T) {
+	for _, tc := range batchGoldenCases() {
+		scn, err := tc.cfg.Scenario()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cres, err := campaign.Run(scn, campaign.Config{Workers: 4, ShardSize: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(cres)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := sha256.Sum256(data)
+		got := hex.EncodeToString(sum[:])
+		if got != tc.digest || !reflect.DeepEqual(cres.Counters, tc.counters) {
+			t.Errorf("%s: golden mismatch\ndigest   %q\ncounters %#v", tc.name, got, cres.Counters)
 		}
 	}
 }

@@ -391,9 +391,11 @@ func (s *scenario) NewWorker() (campaign.Worker, error) {
 }
 
 // worker owns the per-goroutine scratch of a page campaign: the
-// reusable page codec, the RNG (reseeded per trial), the stored-page
-// state and every erasure/reencode buffer, so the steady state
-// performs no per-trial heap allocation.
+// reusable page codec (whose DecodeTo runs each page through the rs
+// batch arena path, so healthy stripes cost only the syndrome
+// screen), the RNG (reseeded per trial), the stored-page state and
+// every erasure/reencode buffer, so the steady state performs no
+// per-trial heap allocation.
 type worker struct {
 	cfg    Config
 	dist   burstlen.Dist

@@ -1,6 +1,9 @@
 package pagesim
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"math"
 	"path/filepath"
@@ -668,5 +671,75 @@ func TestScrubDecodeErrorCounted(t *testing.T) {
 	}
 	if got := acc.Counter(CounterScrubOps); got != 0 {
 		t.Errorf("abandoned scrub pass counted as %d completed scrub_ops", got)
+	}
+}
+
+// batchGoldenCases are the fixed-seed configurations whose complete
+// campaign output — counters and serialized result, including the
+// time_to_location sample series — is pinned across the batch-decode
+// switch: the batch page path must reproduce the per-word decode
+// stream byte for byte (decoding consumes no randomness, so any
+// divergence is a decode-semantics change, not noise).
+func batchGoldenCases() []struct {
+	name     string
+	cfg      Config
+	counters map[string]int64
+	digest   string
+} {
+	return []struct {
+		name     string
+		cfg      Config
+		counters map[string]int64
+		digest   string
+	}{
+		{
+			name: "mixed/immediate", cfg: mixedConfig(),
+			counters: map[string]int64{
+				"bursts": 1204, "corrected_symbols": 736, "failed_stripes": 623,
+				"page_correct": 347, "page_loss": 453, "page_silent_loss": 25,
+				"scrub_ops": 4000, "seus": 2077, "single_burst_trials": 14,
+				"stuck_columns": 486,
+			},
+			digest: "47d948cdf780dedc2e86d4fe8398a28652842bbdfafc39e718b27b6d0b67c6d5",
+		},
+		{
+			name: "detect/scrub", cfg: detectionConfig(DetectScrub),
+			counters: map[string]int64{
+				"bursts": 0, "corrected_symbols": 1083, "failed_stripes": 1099,
+				"located_columns": 1847, "page_correct": 601, "page_loss": 899,
+				"page_silent_loss": 11, "scrub_ops": 10500, "seus": 188,
+				"stuck_columns": 3905, "stuck_unlocated_reads": 5297,
+			},
+			digest: "c32c974a8fb8b1ff772829c5f0d85a8c9dc6e0540084ee9b60aff22a083e7300",
+		},
+		{
+			name: "detect/latency", cfg: detectionConfig(DetectLatency),
+			counters: map[string]int64{
+				"bursts": 0, "corrected_symbols": 2282, "failed_stripes": 506,
+				"located_columns": 3147, "page_correct": 928, "page_loss": 572,
+				"page_silent_loss": 111, "scrub_ops": 10500, "seus": 188,
+				"stuck_columns": 3905, "stuck_unlocated_reads": 3982,
+			},
+			digest: "3363ef0208864a56d6c3206535570d09b19afdc690b11f956e9b130b6c320ba3",
+		},
+	}
+}
+
+func TestBatchGoldenOutputs(t *testing.T) {
+	for _, tc := range batchGoldenCases() {
+		scn := mustScenario(t, tc.cfg)
+		cres, err := campaign.Run(scn, campaign.Config{Workers: 4, ShardSize: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(cres)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := sha256.Sum256(data)
+		got := hex.EncodeToString(sum[:])
+		if got != tc.digest || !reflect.DeepEqual(cres.Counters, tc.counters) {
+			t.Errorf("%s: golden mismatch\ndigest   %q\ncounters %#v", tc.name, got, cres.Counters)
+		}
 	}
 }

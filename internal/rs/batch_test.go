@@ -1,0 +1,320 @@
+package rs
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gf"
+)
+
+// buildArena fills a count-word arena (with the given stride) with
+// random codewords, then corrupts each word according to a randomly
+// chosen class, returning the per-word erasure lists and a pristine
+// copy of each received word for post-decode comparison.
+func buildArena(t *testing.T, rng *rand.Rand, c *Code, count, stride int) (Batch, [][]int, [][]gf.Elem) {
+	t.Helper()
+	n, d := c.N(), c.Redundancy()
+	arena := make([]gf.Elem, (count-1)*stride+n)
+	erasures := make([][]int, count)
+	received := make([][]gf.Elem, count)
+	for w := 0; w < count; w++ {
+		word := arena[w*stride : w*stride+n]
+		data := randData(rng, c)
+		if err := c.EncodeTo(word, data); err != nil {
+			t.Fatal(err)
+		}
+		switch rng.Intn(5) {
+		case 0: // clean
+		case 1: // correctable random errors
+			corruptInPlace(rng, word, rng.Intn(c.T()+1))
+		case 2: // correctable erasures (some corrupted, some consistent)
+			ec := rng.Intn(d + 1)
+			positions := rng.Perm(n)[:ec:ec]
+			for _, p := range positions {
+				if rng.Intn(4) > 0 {
+					word[p] ^= gf.Elem(1 + rng.Intn(c.Field().Size()-1))
+				}
+			}
+			erasures[w] = positions
+		case 3: // mixed errors and erasures within capability
+			ec := rng.Intn(d + 1)
+			positions := rng.Perm(n)[:ec:ec]
+			for _, p := range positions {
+				word[p] ^= gf.Elem(1 + rng.Intn(c.Field().Size()-1))
+			}
+			erasures[w] = positions[:rng.Intn(ec+1)]
+		default: // beyond capability (often — bounded-distance may still accept)
+			corruptInPlace(rng, word, c.T()+1+rng.Intn(d))
+		}
+		received[w] = append([]gf.Elem(nil), word...)
+	}
+	return Batch{Words: arena, Stride: stride, Count: count}, erasures, received
+}
+
+// corruptInPlace flips errs distinct symbols of word.
+func corruptInPlace(rng *rand.Rand, word []gf.Elem, errs int) {
+	for _, p := range rng.Perm(len(word))[:errs] {
+		word[p] ^= gf.Elem(1 + rng.Intn(255))
+	}
+}
+
+// TestDecodeAllMatchesPerWord is the batch/per-word equivalence law:
+// over randomized arenas mixing clean words, correctable errors,
+// correctable erasures and beyond-capability words, DecodeAll must
+// match a per-word Decoder.Decode loop result-for-result — the same
+// accept/reject decision, the same error classification, the same
+// corrected word and correction count, and failed words left exactly
+// as received.
+func TestDecodeAllMatchesPerWord(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	for _, params := range [][2]int{{18, 16}, {36, 16}, {255, 223}} {
+		c := MustNew(f8, params[0], params[1])
+		bd := c.NewBatchDecoder()
+		dec := c.NewDecoder()
+		rounds := 40
+		if params[0] == 255 {
+			rounds = 8
+		}
+		for round := 0; round < rounds; round++ {
+			count := 1 + rng.Intn(24)
+			stride := c.N() + rng.Intn(3)
+			batch, erasures, received := buildArena(t, rng, c, count, stride)
+			if rng.Intn(4) == 0 {
+				for w := range erasures { // all-nil lists == nil erasures
+					if erasures[w] != nil {
+						goto keep
+					}
+				}
+				erasures = nil
+			}
+		keep:
+			bres, err := bd.DecodeAll(batch, erasures)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(bres.Words) != count {
+				t.Fatalf("RS(%d,%d): %d word results, want %d", c.N(), c.K(), len(bres.Words), count)
+			}
+			clean, corrected, failed := 0, 0, 0
+			for w := 0; w < count; w++ {
+				got := bres.Words[w]
+				var ers []int
+				if erasures != nil {
+					ers = erasures[w]
+				}
+				want, wantErr := dec.Decode(received[w], ers)
+				arenaWord := batch.Words[w*stride : w*stride+c.N()]
+				if (got.Err != nil) != (wantErr != nil) {
+					t.Fatalf("word %d: batch err=%v, per-word err=%v", w, got.Err, wantErr)
+				}
+				if wantErr != nil {
+					failed++
+					if errors.Is(got.Err, ErrUncorrectable) != errors.Is(wantErr, ErrUncorrectable) {
+						t.Fatalf("word %d: error classification differs: batch %v, per-word %v", w, got.Err, wantErr)
+					}
+					if !equalElems(arenaWord, received[w]) {
+						t.Fatalf("word %d: failed word was modified in the arena", w)
+					}
+					continue
+				}
+				if got.Corrections != want.Corrections {
+					t.Fatalf("word %d: %d corrections, per-word %d", w, got.Corrections, want.Corrections)
+				}
+				if !equalElems(arenaWord, want.Codeword) {
+					t.Fatalf("word %d: corrected arena word differs from per-word codeword", w)
+				}
+				if want.Corrections > 0 {
+					corrected++
+				} else {
+					clean++
+				}
+			}
+			if bres.Clean != clean || bres.Corrected != corrected || bres.Failed != failed {
+				t.Fatalf("tallies %d/%d/%d, want %d/%d/%d",
+					bres.Clean, bres.Corrected, bres.Failed, clean, corrected, failed)
+			}
+		}
+	}
+}
+
+func equalElems(a, b []gf.Elem) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDecodeAllLargeField exercises the per-word fallback for a field
+// without a multiplication table (m > 8), where no packed syndrome
+// table exists.
+func TestDecodeAllLargeField(t *testing.T) {
+	f12 := gf.MustField(12)
+	c := MustNew(f12, 40, 32)
+	if bt := c.batchSyndromeTable(); bt.tab != nil {
+		t.Fatal("m=12 built a packed syndrome table; MulRow has no rows to build it from")
+	}
+	rng := rand.New(rand.NewSource(202))
+	bd := c.NewBatchDecoder()
+	dec := c.NewDecoder()
+	batch, erasures, received := buildArena(t, rng, c, 12, c.N())
+	bres, err := bd.DecodeAll(batch, erasures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, got := range bres.Words {
+		want, wantErr := dec.Decode(received[w], erasures[w])
+		if (got.Err != nil) != (wantErr != nil) {
+			t.Fatalf("word %d: batch err=%v, per-word err=%v", w, got.Err, wantErr)
+		}
+		if wantErr == nil && got.Corrections != want.Corrections {
+			t.Fatalf("word %d: %d corrections, per-word %d", w, got.Corrections, want.Corrections)
+		}
+	}
+}
+
+// TestDecodeAllValidation covers the arena-shape error paths and the
+// per-word validation errors (invalid symbols, bad erasure lists) that
+// must classify exactly like Decoder.Decode.
+func TestDecodeAllValidation(t *testing.T) {
+	c := MustNew(f8, 18, 16)
+	bd := c.NewBatchDecoder()
+	arena := make([]gf.Elem, 3*18)
+
+	if _, err := bd.DecodeAll(Batch{Words: arena, Stride: 17, Count: 1}, nil); err == nil {
+		t.Error("stride below n accepted")
+	}
+	if _, err := bd.DecodeAll(Batch{Words: arena, Stride: 18, Count: -1}, nil); err == nil {
+		t.Error("negative count accepted")
+	}
+	if _, err := bd.DecodeAll(Batch{Words: arena, Stride: 18, Count: 4}, nil); err == nil {
+		t.Error("short arena accepted")
+	}
+	if _, err := bd.DecodeAll(Batch{Words: arena, Stride: 18, Count: 3}, make([][]int, 2)); err == nil {
+		t.Error("erasure list count mismatch accepted")
+	}
+	res, err := bd.DecodeAll(Batch{Words: arena, Stride: 18, Count: 0}, nil)
+	if err != nil || len(res.Words) != 0 {
+		t.Errorf("empty batch: res=%+v err=%v", res, err)
+	}
+
+	// Per-word validation errors surface in WordResult.Err, not as a
+	// batch-level error, and are NOT ErrUncorrectable.
+	arena[5] = 0x100 // invalid symbol in word 0 (otherwise a clean codeword)
+	res, err = bd.DecodeAll(Batch{Words: arena, Stride: 18, Count: 3},
+		[][]int{nil, {2, 2}, {99}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, wantSub := range []string{"out of range", "duplicate erasure", "erasure position"} {
+		if res.Words[w].Err == nil {
+			t.Fatalf("word %d: expected validation error", w)
+		}
+		if errors.Is(res.Words[w].Err, ErrUncorrectable) {
+			t.Errorf("word %d: validation error misclassified as uncorrectable: %v", w, res.Words[w].Err)
+		}
+		if got := res.Words[w].Err.Error(); !contains(got, wantSub) {
+			t.Errorf("word %d: error %q does not mention %q", w, got, wantSub)
+		}
+	}
+	if res.Failed != 3 {
+		t.Errorf("Failed=%d, want 3", res.Failed)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestBatchSteadyStateZeroAllocs: repeated DecodeAll calls over clean,
+// sparse-error and erasure-bearing arenas of a fixed shape must not
+// allocate — the scrub steady state.
+func TestBatchSteadyStateZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(203))
+	c := MustNew(f8, 36, 16)
+	bd := c.NewBatchDecoder()
+	const count = 16
+	n := c.N()
+
+	clean := make([]gf.Elem, count*n)
+	for w := 0; w < count; w++ {
+		if err := c.EncodeTo(clean[w*n:(w+1)*n], randData(rng, c)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sparse := append([]gf.Elem(nil), clean...)
+	corruptInPlace(rng, sparse[3*n:4*n], 2)
+	erased := append([]gf.Elem(nil), clean...)
+	erasures := make([][]int, count)
+	erasures[5] = []int{1, 7}
+	erased[5*n+1] ^= 0x40
+
+	cases := []struct {
+		name  string
+		arena []gf.Elem
+		ers   [][]int
+	}{
+		{"clean", clean, nil},
+		{"sparse", sparse, nil},
+		{"erasures", erased, erasures},
+	}
+	for _, tc := range cases {
+		batch := Batch{Words: tc.arena, Stride: n, Count: count}
+		run := func() {
+			res, err := bd.DecodeAll(batch, tc.ers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Failed != 0 {
+				t.Fatalf("%s: %d failed words", tc.name, res.Failed)
+			}
+		}
+		run() // warm the workspace (and re-corrupt nothing: corrections persist in the arena)
+		if allocs := testing.AllocsPerRun(100, run); allocs != 0 {
+			t.Errorf("%s: %.1f allocs/op, want 0", tc.name, allocs)
+		}
+	}
+}
+
+// TestBatchStrideHeadroomUntouched: symbols between n and Stride are
+// neither read nor written.
+func TestBatchStrideHeadroomUntouched(t *testing.T) {
+	rng := rand.New(rand.NewSource(204))
+	c := MustNew(f8, 18, 16)
+	bd := c.NewBatchDecoder()
+	n, stride, count := c.N(), c.N()+4, 5
+	arena := make([]gf.Elem, (count-1)*stride+n)
+	for i := range arena {
+		arena[i] = 0x1234 // invalid sentinel everywhere, including headroom
+	}
+	for w := 0; w < count; w++ {
+		if err := c.EncodeTo(arena[w*stride:w*stride+n], randData(rng, c)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	corruptInPlace(rng, arena[2*stride:2*stride+n], 1)
+	res, err := bd.DecodeAll(Batch{Words: arena, Stride: stride, Count: count}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clean != 4 || res.Corrected != 1 || res.Failed != 0 {
+		t.Fatalf("tallies %d/%d/%d, want 4/1/0", res.Clean, res.Corrected, res.Failed)
+	}
+	for w := 0; w < count-1; w++ {
+		for _, v := range arena[w*stride+n : (w+1)*stride] {
+			if v != 0x1234 {
+				t.Fatalf("headroom of word %d modified", w)
+			}
+		}
+	}
+}

@@ -39,6 +39,31 @@
 // callers working: they borrow a pooled Decoder for the heavy scratch
 // and return an independent Result the caller may retain, at the cost
 // of the Result's own slices being freshly allocated.
+//
+// # Batch decode: arenas, strides and the clean-word fast path
+//
+// Scrub-scale workloads decode every resident word each pass, and
+// almost all of those words are still valid codewords. The batch
+// layer (Batch, BatchDecoder, DecodeAll) is built around that skew: a
+// Batch describes a contiguous arena of Count words laid out at a
+// fixed Stride (word w occupies Words[w*Stride : w*Stride+n]; Stride
+// >= n, with any per-word headroom between n and Stride left
+// untouched), and DecodeAll screens each erasure-free word with a
+// packed syndrome fold over a precomputed contribution table — CRC
+// slicing-by-8 transplanted to GF(2^m), four 16-bit syndrome symbols
+// per uint64 row — accepting clean words without ever entering the
+// Berlekamp-Massey/Chien pipeline. Words with nonzero syndromes, with
+// erasures, or with invalid symbols run the ordinary per-word Decoder
+// machinery and are corrected in place in the arena, so every word's
+// outcome (corrected symbols, acceptance, error classification) is
+// identical to a per-word Decoder.Decode loop — just much faster when
+// the arena is mostly clean. A BatchDecoder from Code.NewBatchDecoder
+// owns its scratch like a Decoder does (one per goroutine, results
+// valid until the next call) and its steady state allocates nothing;
+// the contribution table itself lives on the Code, built once and
+// shared. Codes whose table would be too large (or whose field has no
+// multiplication table) transparently fall back to the per-word
+// pipeline for every word.
 package rs
 
 import (
@@ -77,6 +102,13 @@ type Code struct {
 	// decPool recycles Decoder workspaces for the allocating
 	// Decode/DecodeEuclidean wrappers.
 	decPool sync.Pool
+
+	// batchOnce/batchTab lazily build and hold the packed
+	// syndrome-contribution table behind the batch decode fast path
+	// (see batch.go); the table is shared by every BatchDecoder of
+	// this code.
+	batchOnce sync.Once
+	batchTab  batchTable
 }
 
 // ErrUncorrectable is returned (wrapped) by Decode when the received
