@@ -1,0 +1,139 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/campaign/spec"
+	"repro/internal/fabric"
+)
+
+// serveOptions configures -serve, the fabric coordinator mode.
+type serveOptions struct {
+	specPath     string
+	addr         string
+	baseDir      string // -partials: uploads land in a per-spec namespace under it
+	slices       int
+	leaseTimeout time.Duration
+	outDir       string
+	quiet        bool
+	stream       bool
+}
+
+// runServe coordinates the spec's campaigns over HTTP: executors pull
+// slice leases and upload partials; once every slice has arrived (or
+// been cancelled by an early stop) the ordinary merge pipeline runs
+// here, so -serve ends with exactly the artifacts, renders and
+// expectation verdicts an unpartitioned run would produce.
+func runServe(f *spec.File, built []*spec.Built, opts serveOptions) int {
+	specBytes, err := os.ReadFile(opts.specPath)
+	if err != nil {
+		fatal(err)
+	}
+	nsDir := fabric.Namespace(opts.baseDir, specBytes)
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	coord, err := fabric.New(fabric.Config{
+		SpecBytes:    specBytes,
+		File:         f,
+		Built:        built,
+		Dir:          nsDir,
+		Slices:       opts.slices,
+		LeaseTimeout: opts.leaseTimeout,
+		Log:          logger,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", opts.addr)
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{Handler: coord.Handler()}
+	go srv.Serve(ln)
+	logger.Printf("campaign: fabric coordinator on http://%s (uploads -> %s)", ln.Addr(), nsDir)
+
+	<-coord.Done()
+	// Merge while still serving, so executors polling for work learn
+	// the campaign is done and drain cleanly instead of timing out
+	// against a vanished coordinator.
+	code := runCampaigns(f, built, runOptions{
+		outDir: opts.outDir,
+		quiet:  opts.quiet,
+		merge:  true,
+		stream: opts.stream,
+		dir:    nsDir,
+	})
+	srv.Close()
+	return code
+}
+
+// runExecutorMode runs one stateless executor against a coordinator.
+func runExecutorMode(url, name string, delay time.Duration, workers int) int {
+	if name == "" {
+		host, _ := os.Hostname()
+		name = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	err := fabric.RunExecutor(fabric.ExecutorConfig{
+		URL:         strings.TrimRight(url, "/"),
+		Name:        name,
+		Workers:     workers,
+		UploadDelay: delay,
+		Log:         log.New(os.Stderr, "", log.LstdFlags),
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// printStatus renders a coordinator's status snapshot.
+func printStatus(url string) int {
+	st, err := fabric.FetchStatus(nil, strings.TrimRight(url, "/"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+		return 1
+	}
+	state := "running"
+	if st.Done {
+		state = "done"
+	}
+	fmt.Printf("coordinator %s: up %.0fs, %d slices/entry, lease %s, %d executor(s) seen\n",
+		state, st.UptimeSec, st.Slices, time.Duration(st.LeaseMS)*time.Millisecond, st.Executors)
+	fmt.Printf("uploads: %d accepted, %d ignored, %d rejected; %d lease(s) stolen\n",
+		st.Uploads, st.Ignored, st.Rejected, st.Steals)
+	for _, e := range st.Entries {
+		verdict := "running"
+		switch {
+		case e.Done && e.EarlyStopped:
+			verdict = "done (early stop)"
+		case e.Done:
+			verdict = "done"
+		}
+		fmt.Printf("%-40s %-18s merged %d/%d shards, %d/%d trials, %.0f trials/s\n",
+			e.Entry, verdict, e.PrefixShards, e.NumShards, e.DoneTrials, e.TotalTrials, e.TrialsPerSec)
+		counts := map[string]int{}
+		for _, s := range e.Slices {
+			counts[s.State]++
+		}
+		var parts []string
+		for _, k := range []string{"done", "leased", "pending", "cancelled", "empty"} {
+			if counts[k] > 0 {
+				parts = append(parts, fmt.Sprintf("%d %s", counts[k], k))
+			}
+		}
+		fmt.Printf("%-40s slices: %s\n", "", strings.Join(parts, ", "))
+		for _, s := range e.Slices {
+			if s.State == "leased" {
+				fmt.Printf("%-40s   slice %d leased to %s (%d trials, %d steal(s))\n",
+					"", s.Index, s.Holder, s.Trials, s.Steals)
+			}
+		}
+	}
+	return 0
+}

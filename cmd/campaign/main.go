@@ -50,6 +50,34 @@
 // then omit the samples array, and per-scenario rendering is
 // suppressed).
 //
+// # Distributed fabric
+//
+// The same partitioning can run as a coordinated fleet instead of
+// hand-launched -partition processes:
+//
+//	campaign -spec spec.json -serve :9618 -partials work/ -out results/
+//	campaign -executor http://coordinator:9618        # on any machine, any number of times
+//	campaign -status http://coordinator:9618          # progress, lease states, trials/sec
+//
+// The -serve process plans every scenario into -slices deterministic
+// slices and hands them to executors as leases over HTTP; executors
+// are stateless (they fetch the spec from the coordinator, so they
+// need nothing but the URL), compute their slice in memory and upload
+// the partial artifact, renewing their lease while they work. A lease
+// that expires — executor crashed, hung, or was killed — is stolen by
+// the next executor asking for work, so the campaign finishes without
+// operator action; duplicate uploads of a re-run slice are
+// byte-identical and ignored. Uploads are validated against the
+// slice's plan (geometry, partition, params digest, completeness)
+// before they land in a per-spec namespace under -partials, the
+// coordinator re-decides early stopping on the contiguous shard
+// prefix as uploads arrive (cancelling slices past the stopping
+// point), and when every slice is in, the merge runs in the -serve
+// process — producing results bit-identical to an unpartitioned run.
+// -exec-delay delays an executor's uploads (a fault-injection hook
+// for exercising lease expiry), and -exec-name labels it in
+// coordinator logs.
+//
 // With -out, every scenario additionally writes <name>.json (the raw
 // engine result) and <name>.csv (counters and samples) into the
 // directory; matrix cells land in a subdirectory named after the
@@ -81,16 +109,41 @@ func main() {
 		merge     = flag.Bool("merge", false, "merge the partial artifacts under -partials instead of running scenarios")
 		partials  = flag.String("partials", "", "directory of partial-result artifacts (required with -partition or -merge)")
 		stream    = flag.Bool("stream", false, "with -merge and -out: stream samples into the CSV artifacts instead of holding them in memory (implies -q; JSON artifacts omit samples)")
+
+		serveAddr    = flag.String("serve", "", "coordinate the spec's campaigns over HTTP on this address (e.g. :9618): executors pull slice leases, the merge runs here once every slice arrived")
+		executorURL  = flag.String("executor", "", "run as a stateless fabric executor against the coordinator at this base URL (fetches the spec from it; no -spec needed)")
+		statusURL    = flag.String("status", "", "print the fabric coordinator's status (per-slice lease state, trials/sec, merge progress) at this base URL and exit")
+		slices       = flag.Int("slices", 0, "with -serve: slices per scenario, the work-stealing granularity (0 = 8)")
+		leaseTimeout = flag.Duration("lease-timeout", 0, "with -serve: how long a leased slice may go without an upload or renewal before another executor steals it (0 = 1m)")
+		execName     = flag.String("exec-name", "", "with -executor: executor name in leases and coordinator logs (default: host:pid)")
+		execDelay    = flag.Duration("exec-delay", 0, "with -executor: sleep between computing a slice and uploading it — a fault-injection hook for testing lease expiry and work stealing")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "campaign: unexpected arguments %q\n", flag.Args())
 		os.Exit(2)
 	}
+	if *statusURL != "" {
+		os.Exit(printStatus(*statusURL))
+	}
+	if *executorURL != "" {
+		// Executors are stateless: the spec comes from the coordinator,
+		// so a -spec here would be a second, possibly divergent truth.
+		if *specPath != "" {
+			fatal(fmt.Errorf("-executor fetches the spec from the coordinator; drop -spec"))
+		}
+		os.Exit(runExecutorMode(*executorURL, *execName, *execDelay, *workers))
+	}
 	if *specPath == "" {
 		fmt.Fprintln(os.Stderr, "campaign: -spec is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *serveAddr != "" && (*partition != "" || *merge) {
+		fatal(fmt.Errorf("-serve plans and merges itself; it is exclusive with -partition/-merge"))
+	}
+	if *serveAddr != "" && *partials == "" {
+		fatal(fmt.Errorf("-serve needs -partials, the work directory uploaded slices land in"))
 	}
 	var part campaign.Partition
 	if *partition != "" {
@@ -113,7 +166,7 @@ func main() {
 		fatal(fmt.Errorf("-out applies to the -merge step, not -partition runs"))
 	}
 	if *stream {
-		if !*merge || *outDir == "" {
+		if (!*merge && *serveAddr == "") || *outDir == "" {
 			// Without an output directory there is nowhere to stream
 			// to; silently falling back to an in-memory merge would be
 			// exactly the unbounded behavior -stream exists to avoid.
@@ -142,6 +195,18 @@ func main() {
 
 	if *partition != "" {
 		os.Exit(runPartition(f, built, part, *partials))
+	}
+	if *serveAddr != "" {
+		os.Exit(runServe(f, built, serveOptions{
+			specPath:     *specPath,
+			addr:         *serveAddr,
+			baseDir:      *partials,
+			slices:       *slices,
+			leaseTimeout: *leaseTimeout,
+			outDir:       *outDir,
+			quiet:        *quiet,
+			stream:       *stream,
+		}))
 	}
 	os.Exit(runCampaigns(f, built, runOptions{
 		outDir: *outDir,
@@ -367,7 +432,9 @@ func writeJSON(path string, cres *campaign.Result) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	// Atomic, so a crash mid-write (or a concurrent reader watching the
+	// results directory) never sees a truncated JSON artifact.
+	return expdata.WriteFileAtomic(path, append(data, '\n'), 0o644)
 }
 
 func fatal(err error) {

@@ -144,6 +144,34 @@
 // reliability the free-erasures assumption overstated (roughly 2x
 // page loss under realistic location in the committed configuration).
 //
+// # The distributed campaign fabric
+//
+// internal/fabric takes the plan/execute/merge split across machines.
+// A coordinator (cmd/campaign -serve) plans every spec entry into
+// deterministic slices — the same Partition geometry -partition uses,
+// so the engine's determinism law applies unchanged — and hands them
+// to a fleet of stateless executors (cmd/campaign -executor, needing
+// nothing but the coordinator URL: the spec itself is fetched from
+// the coordinator) as leases over plain HTTP. Executors compute their
+// slice in memory, renew their lease while working, and upload the
+// serialized partial artifact; the coordinator validates every upload
+// against the slice's plan (geometry, partition, params digest,
+// completeness) before accepting it into a per-spec namespace
+// directory. A lease that expires — executor crashed, hung, or
+// SIGKILLed — is stolen by the next executor asking for work, and
+// because slices are pure functions of the global trial index, the
+// recomputed upload is byte-identical and any zombie duplicate is
+// simply ignored. Between arrivals the coordinator folds the
+// contiguous shard prefix incrementally and re-decides Wilson-CI
+// early stopping exactly as the merger does, cancelling slices past
+// the stopping shard so a fleet never computes work a single process
+// would have skipped. When the last slice lands, the ordinary merge
+// runs in the -serve process: the fabric's end-to-end law, enforced
+// by CI with three executors (one SIGKILLed mid-run), is that the
+// merged artifacts are byte-identical to an unpartitioned run's. A
+// status endpoint (cmd/campaign -status) reports per-slice lease
+// state, steal counts, trials/sec and merge progress.
+//
 // Campaign identity is guarded end to end: partial artifacts and
 // checkpoints carry the scenario name, geometry and — when run
 // through the spec layer — a digest of the entry's kind and
@@ -156,7 +184,8 @@
 //
 // The ci workflow builds and tests on the current and previous Go
 // release, race-gates the worker-pool engine (go test -race ./...),
-// enforces gofmt/go vet, smoke-runs every binary's error paths
+// enforces gofmt/go vet plus a pinned staticcheck, smoke-runs every
+// binary's error paths
 // (non-zero exits), a multi-scenario campaign spec, the matrix
 // sweep spec (12 interleave cells plus the whole-memory analytic
 // cross-check), and the partitioned workflow (three -partition
@@ -168,6 +197,12 @@
 // compares them against the committed BENCH_baseline.json, failing on
 // any allocation increase or a >25% latency regression (min-of-5
 // ns/op, so one-sided scheduler noise cannot fake a pass or a fail).
+// A fabric-e2e job runs the coordinator/executor fleet as local
+// processes — three healthy executors, then a chaos pass that
+// SIGKILLs one mid-run and requires its lease to be stolen — and
+// diffs the merged artifacts byte-for-byte against the unpartitioned
+// run. Every job carries a timeout, and failing e2e jobs upload their
+// logs and partial artifacts for post-mortem.
 // The nightly workflow reruns the accelerated SSMM mission and the
 // interleaved-page mission (10k deterministic trials each) and fails
 // if any measured probability leaves its tolerance band in

@@ -173,6 +173,17 @@ func (s *EarlyStop) z() float64 {
 	return s.Z
 }
 
+// Satisfied reports whether the stop rule fires at the given
+// contiguous-prefix totals (successes of the stop counter over the
+// trials folded so far). Exported for layers that re-decide the stop
+// between merge rounds — the fabric coordinator evaluates it shard by
+// shard as partial uploads arrive, exactly as Merge does, so the
+// slices it cancels are the ones a single-process run would never
+// have executed.
+func (s *EarlyStop) Satisfied(successes int64, trials int) bool {
+	return s.satisfied(successes, trials)
+}
+
 // satisfied reports whether the interval is narrow enough at the
 // given prefix totals.
 func (s *EarlyStop) satisfied(successes int64, trials int) bool {

@@ -235,6 +235,93 @@ func (p *Partial) load(idx int) (*shardRecord, error) {
 	return &rec, nil
 }
 
+// ShardCounter returns the value a completed shard recorded for one
+// named counter (0 for counters the shard never touched). ok is false
+// when the shard is not complete in this partial. Layers that fold
+// arrivals incrementally — the fabric coordinator re-deciding the
+// early stop on the contiguous prefix between merge rounds — read
+// per-shard counters through this instead of waiting for a full Merge.
+func (p *Partial) ShardCounter(idx int, name string) (v int64, ok bool) {
+	c, ok := p.counters[idx]
+	if !ok {
+		return 0, false
+	}
+	return c[name], true
+}
+
+// MatchesPlan validates that this partial is the output of exactly the
+// given plan: same campaign geometry (scenario, trials, shard size),
+// same partition, no params-digest conflict, and every completed shard
+// inside the plan's range. It is the upload-acceptance check of the
+// fabric coordinator — a partial that passes can be handed to Merge
+// alongside the plan's siblings without further identity checks.
+func (p *Partial) MatchesPlan(plan *Plan) error {
+	h := plan.header()
+	if !p.header.geometryMatches(h) || p.header.partition() != h.partition() {
+		return fmt.Errorf("campaign: partial %s is for scenario %q (%d trials, shard %d, partition %s), want %q (%d trials, shard %d, partition %s)",
+			describePartial(p), p.header.Scenario, p.header.Trials, p.header.ShardSize, p.header.partition(),
+			plan.Scenario, plan.Trials, plan.ShardSize, plan.Part)
+	}
+	if p.header.digestConflicts(h) {
+		return fmt.Errorf("campaign: partial %s was computed under different scenario params (digest %s, want %s)",
+			describePartial(p), p.header.ParamsDigest, h.ParamsDigest)
+	}
+	for idx := range p.counters {
+		if idx < plan.First || idx >= plan.End {
+			return fmt.Errorf("campaign: partial %s holds shard %d outside partition %s range [%d, %d)",
+				describePartial(p), idx, plan.Part, plan.First, plan.End)
+		}
+	}
+	return nil
+}
+
+// Complete reports whether the partial holds every shard of the
+// plan's range — the difference between an upload that finished its
+// slice and one that was truncated in flight.
+func (p *Partial) Complete(plan *Plan) bool {
+	for idx := plan.First; idx < plan.End; idx++ {
+		if !p.has(idx) {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteTo serializes the partial as a version-2 JSONL artifact —
+// header line plus one record per completed shard in shard order —
+// which is also the fabric's upload wire format: bytes written by
+// WriteTo round-trip through OpenPartial into an equal partial.
+// File-backed records are re-read from the artifact on demand, so
+// streaming a spilled partial does not re-materialize its samples.
+func (p *Partial) WriteTo(w io.Writer) (int64, error) {
+	head, err := json.Marshal(p.header)
+	if err != nil {
+		return 0, fmt.Errorf("campaign: encode partial header: %w", err)
+	}
+	var written int64
+	n, err := w.Write(append(head, '\n'))
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+	for _, idx := range p.Shards() {
+		rec, err := p.load(idx)
+		if err != nil {
+			return written, err
+		}
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return written, fmt.Errorf("campaign: encode shard %d: %w", idx, err)
+		}
+		n, err := w.Write(append(line, '\n'))
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
 // Close releases the artifact read handle (a no-op for in-memory
 // partials). The Partial must not be used afterwards.
 func (p *Partial) Close() error {

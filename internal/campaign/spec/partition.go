@@ -1,7 +1,9 @@
 package spec
 
 import (
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -19,15 +21,20 @@ func (e Entry) PartialPath(dir string, part campaign.Partition) string {
 	return filepath.Join(dir, filepath.FromSlash(e.ArtifactPath())+fmt.Sprintf(".part%dof%d", part.Index, part.Count))
 }
 
-// partialFiles lists every partition's artifact of the entry under
+// PartialFiles lists every partition's artifact of the entry under
 // dir: files named <artifact>.part<...> in the artifact's directory.
 // A directory listing with a literal prefix match (not a glob) keeps
 // scenario names containing glob metacharacters working, and
 // leftover ".tmp" files from an interrupted artifact creation are
-// never picked up.
-func (e Entry) partialFiles(dir string) ([]string, error) {
+// never picked up. A missing artifact directory lists as empty — for
+// callers like the fabric coordinator the distinction between "no
+// partials yet" and "directory not created yet" is meaningless.
+func (e Entry) PartialFiles(dir string) ([]string, error) {
 	base := filepath.Join(dir, filepath.FromSlash(e.ArtifactPath()))
 	entries, err := os.ReadDir(filepath.Dir(base))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -78,7 +85,7 @@ func (b *Built) RunPartition(f *File, part campaign.Partition, dir string) (*cam
 // sink streams samples and notes instead of materializing them (the
 // bounded-memory path for million-sample campaigns).
 func (b *Built) MergePartials(f *File, dir string, sink campaign.Sink) (*campaign.Result, error) {
-	paths, err := b.Entry.partialFiles(dir)
+	paths, err := b.Entry.PartialFiles(dir)
 	if err != nil {
 		return nil, fmt.Errorf("spec: %s: %w", b.Entry.Name, err)
 	}

@@ -1,0 +1,40 @@
+package expdata
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes data to path through a same-directory temp
+// file and a rename, so a concurrent reader (a dashboard tailing a
+// results directory, a fabric merge scanning for artifacts) never
+// observes a partially written file and a crash mid-write leaves the
+// previous version intact. The containing directory is created if
+// missing.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("expdata: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("expdata: %w", err)
+	}
+	tmpPath := tmp.Name()
+	_, werr := tmp.Write(data)
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Chmod(tmpPath, perm)
+	}
+	if werr == nil {
+		werr = os.Rename(tmpPath, path)
+	}
+	if werr != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("expdata: write %s: %w", path, werr)
+	}
+	return nil
+}

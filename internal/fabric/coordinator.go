@@ -1,0 +1,565 @@
+package fabric
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/campaign/spec"
+)
+
+// Config assembles a coordinator for one spec.
+type Config struct {
+	// SpecBytes is the raw spec file, served verbatim at /spec so
+	// executors build the exact same scenarios (and params digests)
+	// the coordinator planned with.
+	SpecBytes []byte
+	// File and Built are the parsed and compiled spec (spec.Load +
+	// BuildAll of SpecBytes).
+	File  *spec.File
+	Built []*spec.Built
+	// Dir is the directory validated partial uploads land in, and the
+	// directory the final merge reads — callers normally pass
+	// Namespace(workDir, SpecBytes) so concurrent specs never collide.
+	Dir string
+	// Slices is the partition count each entry's shard range is split
+	// into (0 = DefaultSlices). More slices mean finer-grained work
+	// stealing and earlier stop cancellation, at more HTTP round trips.
+	Slices int
+	// LeaseTimeout is how long a slice may go without an upload or
+	// renewal before it is stolen (0 = DefaultLeaseTimeout).
+	LeaseTimeout time.Duration
+	// Log receives lease, steal, upload and completion events
+	// (nil = standard logger).
+	Log *log.Logger
+}
+
+// slice lease states.
+const (
+	slicePending   = "pending"
+	sliceLeased    = "leased"
+	sliceDone      = "done"
+	sliceCancelled = "cancelled"
+	sliceEmpty     = "empty"
+)
+
+// slice is one partition of one entry's campaign.
+type slice struct {
+	plan     *campaign.Plan
+	path     string // where the validated upload lands
+	state    string
+	leaseID  string
+	holder   string
+	deadline time.Time
+	steals   int
+	adopted  bool
+}
+
+// task is one spec entry being distributed.
+type task struct {
+	built   *spec.Built
+	cfg     campaign.Config // engine config: shard size, stop rule, digest
+	slices  []*slice
+	arrived map[int]*campaign.Partial // slice index -> accepted partial (counters resident)
+
+	// Contiguous-prefix early-stop state, mirroring campaign.Merge's
+	// pass 1: prefix is the next global shard not yet folded,
+	// slicePtr the slice owning it.
+	prefix        int
+	slicePtr      int
+	prefixSuccess int64
+	prefixTrials  int
+	stopped       bool
+	stopShard     int
+
+	doneTrials int
+	done       bool
+}
+
+func (t *task) numShards() int { return t.slices[0].plan.NumShards }
+
+func (t *task) totalTrials() int { return t.built.Scenario.Trials() }
+
+// leaseRef locates a lease's slice.
+type leaseRef struct {
+	task  *task
+	slice int
+}
+
+// Coordinator serves a campaign plan to executors and folds their
+// uploads. All mutable state is guarded by mu; plans and spec
+// structures are immutable after New.
+type Coordinator struct {
+	cfg Config
+	log *log.Logger
+
+	mu        sync.Mutex
+	tasks     []*task
+	leases    map[string]leaseRef
+	leaseSeq  int
+	executors map[string]time.Time
+	start     time.Time
+	finished  bool
+	doneCh    chan struct{}
+
+	uploads, ignored, rejected, steals int
+}
+
+// New validates the config, plans every entry's slices, adopts any
+// complete partials already in Dir (a coordinator restarted after a
+// crash resumes instead of recomputing), and returns a coordinator
+// ready to serve.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.SpecBytes) == 0 || cfg.File == nil || len(cfg.Built) == 0 {
+		return nil, fmt.Errorf("fabric: config needs the spec bytes and its parsed entries")
+	}
+	if cfg.Slices <= 0 {
+		cfg.Slices = DefaultSlices
+	}
+	if cfg.LeaseTimeout <= 0 {
+		cfg.LeaseTimeout = DefaultLeaseTimeout
+	}
+	logger := cfg.Log
+	if logger == nil {
+		logger = log.Default()
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("fabric: workdir: %w", err)
+	}
+	c := &Coordinator{
+		cfg:       cfg,
+		log:       logger,
+		leases:    make(map[string]leaseRef),
+		executors: make(map[string]time.Time),
+		start:     time.Now(),
+		doneCh:    make(chan struct{}),
+	}
+	for _, b := range cfg.Built {
+		ecfg := b.EngineConfig(cfg.File)
+		t := &task{built: b, cfg: ecfg, arrived: make(map[int]*campaign.Partial)}
+		expected := make(map[string]*slice, cfg.Slices)
+		for i := 0; i < cfg.Slices; i++ {
+			part := campaign.Partition{Index: i, Count: cfg.Slices}
+			plan, err := campaign.NewPlan(b.Scenario, ecfg.ShardSize, part)
+			if err != nil {
+				return nil, fmt.Errorf("fabric: %s: %w", b.Entry.Name, err)
+			}
+			plan.ParamsDigest = ecfg.ParamsDigest
+			s := &slice{plan: plan, path: b.Entry.PartialPath(cfg.Dir, part), state: slicePending}
+			if plan.Shards() == 0 {
+				s.state = sliceEmpty
+			}
+			expected[s.path] = s
+			t.slices = append(t.slices, s)
+		}
+		if err := c.adoptExisting(t, expected); err != nil {
+			return nil, err
+		}
+		c.advanceTask(t)
+		c.tasks = append(c.tasks, t)
+	}
+	c.checkFinished()
+	return c, nil
+}
+
+// adoptExisting scans the entry's partial files already under Dir. A
+// complete, valid upload from a previous coordinator run is adopted as
+// done; an incomplete one is ignored (the fresh upload atomically
+// replaces it); a file that belongs to a different slicing or a
+// different params digest is an error — merging would fail on it
+// later, so refuse to start instead.
+func (c *Coordinator) adoptExisting(t *task, expected map[string]*slice) error {
+	paths, err := t.built.Entry.PartialFiles(c.cfg.Dir)
+	if err != nil {
+		return fmt.Errorf("fabric: %s: %w", t.built.Entry.Name, err)
+	}
+	for _, path := range paths {
+		s, ok := expected[path]
+		if !ok {
+			return fmt.Errorf("fabric: %s: leftover partial %s does not match -slices %d; remove it or the workdir",
+				t.built.Entry.Name, path, c.cfg.Slices)
+		}
+		if s.state == sliceEmpty {
+			continue
+		}
+		p, err := campaign.OpenPartial(path)
+		if err != nil {
+			return fmt.Errorf("fabric: %s: %w", t.built.Entry.Name, err)
+		}
+		if err := p.MatchesPlan(s.plan); err != nil {
+			p.Close()
+			return fmt.Errorf("fabric: %s: stale partial: %w", t.built.Entry.Name, err)
+		}
+		if !p.Complete(s.plan) {
+			p.Close()
+			c.log.Printf("fabric: %s: ignoring incomplete partial %s (will be replaced)", t.built.Entry.Name, path)
+			continue
+		}
+		p.Close() // counters stay resident; the merge reopens for samples
+		s.state = sliceDone
+		s.adopted = true
+		t.arrived[s.plan.Part.Index] = p
+		t.doneTrials += s.plan.PartitionTrials()
+		c.log.Printf("fabric: %s: adopted completed slice %s from a previous run", t.built.Entry.Name, s.plan.Part)
+	}
+	return nil
+}
+
+// advanceTask folds newly contiguous shards into the prefix and
+// re-decides the early stop, mirroring campaign.Merge's pass 1 shard
+// for shard; on a stop it cancels every slice strictly beyond the
+// stopping shard. Must be called with mu held (or before serving).
+func (c *Coordinator) advanceTask(t *task) {
+	numShards := t.numShards()
+	for !t.stopped && t.prefix < numShards {
+		for t.slicePtr < len(t.slices) && t.slices[t.slicePtr].plan.End <= t.prefix {
+			t.slicePtr++
+		}
+		if t.slicePtr >= len(t.slices) {
+			break
+		}
+		s := t.slices[t.slicePtr]
+		if s.state != sliceDone {
+			break
+		}
+		p := t.arrived[s.plan.Part.Index]
+		stop := t.cfg.Stop
+		var v int64
+		if stop != nil {
+			v, _ = p.ShardCounter(t.prefix, stop.Counter)
+		}
+		t.prefixSuccess += v
+		_, t.prefixTrials = s.plan.ShardSpan(t.prefix)
+		t.prefix++
+		// A counter that increments more than once per trial is not a
+		// binomial proportion; leave the stop to Merge's loud error.
+		if stop != nil && t.prefixSuccess <= int64(t.prefixTrials) &&
+			stop.Satisfied(t.prefixSuccess, t.prefixTrials) {
+			t.stopped = true
+			t.stopShard = t.prefix - 1
+			for _, other := range t.slices {
+				if other.plan.First > t.stopShard && (other.state == slicePending || other.state == sliceLeased) {
+					other.state = sliceCancelled
+				}
+			}
+			c.log.Printf("fabric: %s: early stop decided at shard %d/%d; cancelled remaining slices",
+				t.built.Entry.Name, t.stopShard, numShards)
+		}
+	}
+	if !t.done {
+		done := true
+		for _, s := range t.slices {
+			if s.state != sliceDone && s.state != sliceCancelled && s.state != sliceEmpty {
+				done = false
+				break
+			}
+		}
+		if done {
+			t.done = true
+			c.log.Printf("fabric: %s: complete (%d trials)", t.built.Entry.Name, t.doneTrials)
+		}
+	}
+}
+
+// checkFinished closes the done channel once every task is complete.
+// Must be called with mu held (or before serving).
+func (c *Coordinator) checkFinished() {
+	if c.finished {
+		return
+	}
+	for _, t := range c.tasks {
+		if !t.done {
+			return
+		}
+	}
+	c.finished = true
+	close(c.doneCh)
+	c.log.Printf("fabric: campaign complete: %d uploads, %d steals, %s elapsed",
+		c.uploads, c.steals, time.Since(c.start).Round(time.Millisecond))
+}
+
+// Done is closed when every entry has completed (or early-stopped).
+func (c *Coordinator) Done() <-chan struct{} { return c.doneCh }
+
+// Dir returns the directory the validated partials land in — the
+// directory to merge.
+func (c *Coordinator) Dir() string { return c.cfg.Dir }
+
+// Handler returns the coordinator's HTTP API.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(pathSpec, c.handleSpec)
+	mux.HandleFunc(pathLease, c.handleLease)
+	mux.HandleFunc(pathRenew, c.handleRenew)
+	mux.HandleFunc(pathUpload, c.handleUpload)
+	mux.HandleFunc(pathStatus, c.handleStatus)
+	return mux
+}
+
+func (c *Coordinator) handleSpec(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(c.cfg.SpecBytes)
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req leaseRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		http.Error(w, "bad lease request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	now := time.Now()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if req.Executor != "" {
+		c.executors[req.Executor] = now
+	}
+	if c.finished {
+		writeJSON(w, leaseReply{Done: true})
+		return
+	}
+	var earliest time.Time
+	for _, t := range c.tasks {
+		if t.done {
+			continue
+		}
+		for _, s := range t.slices {
+			switch s.state {
+			case slicePending:
+				writeJSON(w, c.grantLocked(t, s, req.Executor, now, false))
+				return
+			case sliceLeased:
+				if now.After(s.deadline) {
+					writeJSON(w, c.grantLocked(t, s, req.Executor, now, true))
+					return
+				}
+				if earliest.IsZero() || s.deadline.Before(earliest) {
+					earliest = s.deadline
+				}
+			}
+		}
+	}
+	// Everything is leased (or done): tell the executor when the next
+	// deadline could free work, bounded to keep polling responsive
+	// without hammering.
+	wait := 500 * time.Millisecond
+	if !earliest.IsZero() {
+		if d := time.Until(earliest); d > wait {
+			wait = d
+		}
+	}
+	if wait > 2*time.Second {
+		wait = 2 * time.Second
+	}
+	writeJSON(w, leaseReply{WaitMS: wait.Milliseconds()})
+}
+
+// grantLocked assigns a slice to an executor under a fresh lease.
+func (c *Coordinator) grantLocked(t *task, s *slice, executor string, now time.Time, stolen bool) leaseReply {
+	if stolen {
+		c.steals++
+		s.steals++
+		delete(c.leases, s.leaseID)
+		c.log.Printf("fabric: lease %s (%s slice %s) held by %s expired; stolen by %s",
+			s.leaseID, t.built.Entry.Name, s.plan.Part, s.holder, executor)
+	}
+	c.leaseSeq++
+	s.leaseID = fmt.Sprintf("L%d", c.leaseSeq)
+	s.holder = executor
+	s.state = sliceLeased
+	s.deadline = now.Add(c.cfg.LeaseTimeout)
+	c.leases[s.leaseID] = leaseRef{task: t, slice: s.plan.Part.Index}
+	renew := c.cfg.LeaseTimeout / 3
+	if renew < 50*time.Millisecond {
+		renew = 50 * time.Millisecond
+	}
+	c.log.Printf("fabric: leased %s slice %s to %s as %s (deadline %s)",
+		t.built.Entry.Name, s.plan.Part, executor, s.leaseID, c.cfg.LeaseTimeout)
+	return leaseReply{Lease: &Lease{
+		ID:           s.leaseID,
+		Entry:        t.built.Entry.Name,
+		Scenario:     s.plan.Scenario,
+		Index:        s.plan.Part.Index,
+		Count:        s.plan.Part.Count,
+		Trials:       s.plan.Trials,
+		ShardSize:    s.plan.ShardSize,
+		NumShards:    s.plan.NumShards,
+		ParamsDigest: s.plan.ParamsDigest,
+		DeadlineMS:   s.deadline.UnixMilli(),
+		RenewMS:      renew.Milliseconds(),
+	}}
+}
+
+func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	id := r.URL.Query().Get("lease")
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ref, ok := c.leases[id]
+	if !ok {
+		http.Error(w, "lease gone", http.StatusGone)
+		return
+	}
+	s := ref.task.slices[ref.slice]
+	if s.state != sliceLeased || s.leaseID != id {
+		http.Error(w, "lease gone", http.StatusGone)
+		return
+	}
+	s.deadline = time.Now().Add(c.cfg.LeaseTimeout)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleUpload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	id := r.URL.Query().Get("lease")
+	c.mu.Lock()
+	ref, ok := c.leases[id]
+	c.mu.Unlock()
+	if !ok {
+		// The lease was stolen and its slice completed by someone else,
+		// or the id is garbage; either way the bytes are not needed.
+		io.Copy(io.Discard, r.Body)
+		writeJSON(w, uploadReply{Accepted: false, Reason: "lease gone"})
+		return
+	}
+	t, s := ref.task, ref.task.slices[ref.slice]
+
+	// Stream the body to a temp file and validate it before touching
+	// any coordinator state: uploads can be large (spilled samples) and
+	// must never be buffered whole in memory or half-written into the
+	// merge directory. The temp name cannot collide with the .part
+	// prefix PartialFiles scans for.
+	tmp, err := os.CreateTemp(c.cfg.Dir, "upload-*.tmp")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	tmpPath := tmp.Name()
+	defer os.Remove(tmpPath)
+	_, cpErr := io.Copy(tmp, r.Body)
+	if err := tmp.Close(); cpErr == nil {
+		cpErr = err
+	}
+	if cpErr != nil {
+		http.Error(w, "upload read: "+cpErr.Error(), http.StatusBadRequest)
+		return
+	}
+	p, err := campaign.OpenPartial(tmpPath)
+	if err == nil {
+		err = p.MatchesPlan(s.plan)
+		if err == nil && !p.Complete(s.plan) {
+			err = fmt.Errorf("upload covers %d of %d shards of slice %s: truncated", len(p.Shards()), s.plan.Shards(), s.plan.Part)
+		}
+	}
+	if err != nil {
+		if p != nil {
+			p.Close()
+		}
+		c.mu.Lock()
+		c.rejected++
+		// Re-queue immediately: the slice must not wait out the full
+		// lease deadline because one executor shipped garbage.
+		if s.state == sliceLeased && s.leaseID == id {
+			s.state = slicePending
+			delete(c.leases, id)
+		}
+		c.mu.Unlock()
+		c.log.Printf("fabric: rejected upload for %s slice %s: %v", t.built.Entry.Name, s.plan.Part, err)
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	p.Close() // counters stay resident for the prefix fold
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s.state == sliceDone || s.state == sliceCancelled {
+		c.ignored++
+		writeJSON(w, uploadReply{Accepted: false, Reason: "slice already " + s.state})
+		return
+	}
+	if err := os.Rename(tmpPath, s.path); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	delete(c.leases, s.leaseID)
+	s.state = sliceDone
+	t.arrived[s.plan.Part.Index] = p
+	t.doneTrials += s.plan.PartitionTrials()
+	c.uploads++
+	c.log.Printf("fabric: accepted %s slice %s (%d trials) from %s",
+		t.built.Entry.Name, s.plan.Part, s.plan.PartitionTrials(), s.holder)
+	c.advanceTask(t)
+	c.checkFinished()
+	writeJSON(w, uploadReply{Accepted: true})
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, c.Status())
+}
+
+// Status snapshots the coordinator's progress.
+func (c *Coordinator) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	elapsed := time.Since(c.start)
+	st := Status{
+		StartUnixMS: c.start.UnixMilli(),
+		UptimeSec:   elapsed.Seconds(),
+		Done:        c.finished,
+		Slices:      c.cfg.Slices,
+		LeaseMS:     c.cfg.LeaseTimeout.Milliseconds(),
+		Executors:   len(c.executors),
+		Uploads:     c.uploads,
+		Ignored:     c.ignored,
+		Rejected:    c.rejected,
+		Steals:      c.steals,
+	}
+	for _, t := range c.tasks {
+		es := EntryStatus{
+			Entry:        t.built.Entry.Name,
+			Scenario:     t.slices[0].plan.Scenario,
+			Done:         t.done,
+			EarlyStopped: t.stopped,
+			NumShards:    t.numShards(),
+			PrefixShards: t.prefix,
+			DoneTrials:   t.doneTrials,
+			TotalTrials:  t.totalTrials(),
+		}
+		if elapsed > 0 {
+			es.TrialsPerSec = float64(t.doneTrials) / elapsed.Seconds()
+		}
+		for _, s := range t.slices {
+			es.Slices = append(es.Slices, SliceStatus{
+				Index:   s.plan.Part.Index,
+				State:   s.state,
+				Holder:  s.holder,
+				Steals:  s.steals,
+				Trials:  s.plan.PartitionTrials(),
+				Adopted: s.adopted,
+			})
+		}
+		st.Entries = append(st.Entries, es)
+	}
+	return st
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,244 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/campaign/spec"
+)
+
+// ExecutorConfig assembles one stateless executor.
+type ExecutorConfig struct {
+	// URL is the coordinator's base URL.
+	URL string
+	// Name identifies this executor in leases and coordinator logs.
+	Name string
+	// Workers is the per-slice goroutine count (0 = GOMAXPROCS).
+	Workers int
+	// UploadDelay sleeps between executing a slice and uploading it —
+	// a fault-injection hook: a SIGKILL during the sleep leaves the
+	// lease to expire and the slice to be stolen, which is what the
+	// chaos test in CI arranges deterministically.
+	UploadDelay time.Duration
+	// Client issues the HTTP requests (nil = a client with sane
+	// timeouts for everything but the upload itself).
+	Client *http.Client
+	// Log receives progress (nil = standard logger).
+	Log *log.Logger
+}
+
+// RunExecutor fetches the spec from the coordinator, builds it
+// locally, and loops: lease a slice, execute it in memory, upload the
+// serialized partial, renew leases in the background while computing.
+// It returns nil once the coordinator reports the campaign done — or
+// once the coordinator stops answering after having been reachable,
+// which is how a fleet drains when the coordinator exits after its
+// final merge.
+func RunExecutor(cfg ExecutorConfig) error {
+	logger := cfg.Log
+	if logger == nil {
+		logger = log.Default()
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Minute}
+	}
+	if cfg.Name == "" {
+		cfg.Name = "executor"
+	}
+
+	specBytes, err := fetchSpec(client, cfg.URL)
+	if err != nil {
+		return err
+	}
+	f, err := spec.Parse(specBytes)
+	if err != nil {
+		return fmt.Errorf("fabric: executor: coordinator spec does not parse: %w", err)
+	}
+	built, err := f.BuildAll()
+	if err != nil {
+		return fmt.Errorf("fabric: executor: coordinator spec does not build: %w", err)
+	}
+	byName := make(map[string]*spec.Built, len(built))
+	for _, b := range built {
+		byName[b.Entry.Name] = b
+	}
+	logger.Printf("fabric: executor %s: built %d entries from %s", cfg.Name, len(built), cfg.URL)
+
+	// Once the coordinator has answered at all, connection errors mean
+	// it is gone (done and exited, or crashed); give it a grace window
+	// and then drain rather than spinning forever.
+	const maxConnFailures = 30
+	connFailures := 0
+	for {
+		lease, wait, done, err := requestLease(client, cfg.URL, cfg.Name)
+		if err != nil {
+			connFailures++
+			if connFailures >= maxConnFailures {
+				logger.Printf("fabric: executor %s: coordinator unreachable (%v); draining", cfg.Name, err)
+				return nil
+			}
+			time.Sleep(500 * time.Millisecond)
+			continue
+		}
+		connFailures = 0
+		if done {
+			logger.Printf("fabric: executor %s: campaign complete; exiting", cfg.Name)
+			return nil
+		}
+		if lease == nil {
+			time.Sleep(wait)
+			continue
+		}
+		if err := runLease(client, cfg, f, byName, lease, logger); err != nil {
+			// A failed slice (bad lease, rejected upload) is the
+			// coordinator's to reassign; log and keep pulling work.
+			logger.Printf("fabric: executor %s: lease %s: %v", cfg.Name, lease.ID, err)
+			time.Sleep(200 * time.Millisecond)
+		}
+	}
+}
+
+// fetchSpec downloads the raw spec bytes, retrying while the
+// coordinator comes up (executors and coordinator start concurrently
+// in CI and under process supervisors).
+func fetchSpec(client *http.Client, base string) ([]byte, error) {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := client.Get(base + pathSpec)
+		if err == nil {
+			if resp.StatusCode != http.StatusOK {
+				body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+				resp.Body.Close()
+				return nil, fmt.Errorf("fabric: executor: GET %s: %s: %s", pathSpec, resp.Status, bytes.TrimSpace(body))
+			}
+			data, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr == nil {
+				return data, nil
+			}
+			err = rerr
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("fabric: executor: coordinator at %s not reachable: %w", base, err)
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+}
+
+// requestLease asks the coordinator for work.
+func requestLease(client *http.Client, base, name string) (lease *Lease, wait time.Duration, done bool, err error) {
+	body, _ := json.Marshal(leaseRequest{Executor: name})
+	resp, err := client.Post(base+pathLease, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		return nil, 0, false, fmt.Errorf("POST %s: %s: %s", pathLease, resp.Status, bytes.TrimSpace(msg))
+	}
+	var reply leaseReply
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return nil, 0, false, err
+	}
+	wait = time.Duration(reply.WaitMS) * time.Millisecond
+	if wait <= 0 {
+		wait = 250 * time.Millisecond
+	}
+	return reply.Lease, wait, reply.Done, nil
+}
+
+// runLease executes one leased slice and uploads the result.
+func runLease(client *http.Client, cfg ExecutorConfig, f *spec.File, byName map[string]*spec.Built, lease *Lease, logger *log.Logger) error {
+	b, ok := byName[lease.Entry]
+	if !ok {
+		return fmt.Errorf("coordinator leased unknown entry %q — executor built a different spec", lease.Entry)
+	}
+	ecfg := b.EngineConfig(f)
+	plan, err := campaign.NewPlan(b.Scenario, lease.ShardSize, campaign.Partition{Index: lease.Index, Count: lease.Count})
+	if err != nil {
+		return err
+	}
+	plan.ParamsDigest = ecfg.ParamsDigest
+	// The lease echoes the coordinator's plan; any disagreement means
+	// the two sides built different campaigns from the "same" spec
+	// (version skew, nondeterministic kind) and computing would waste
+	// the slice on an upload the coordinator must reject.
+	if plan.Scenario != lease.Scenario || plan.Trials != lease.Trials ||
+		plan.NumShards != lease.NumShards || plan.ShardSize != lease.ShardSize {
+		return fmt.Errorf("entry %q plans differently here (scenario %q, %d trials, %d shards of %d) than at the coordinator (%q, %d, %d, %d)",
+			lease.Entry, plan.Scenario, plan.Trials, plan.NumShards, plan.ShardSize,
+			lease.Scenario, lease.Trials, lease.NumShards, lease.ShardSize)
+	}
+	if lease.ParamsDigest != "" && plan.ParamsDigest != "" && plan.ParamsDigest != lease.ParamsDigest {
+		return fmt.Errorf("entry %q params digest differs from the coordinator's — spec skew", lease.Entry)
+	}
+
+	// Renew the lease while the slice computes so slow slices are not
+	// stolen out from under a live executor.
+	stopRenew := make(chan struct{})
+	defer close(stopRenew)
+	renewEvery := time.Duration(lease.RenewMS) * time.Millisecond
+	if renewEvery <= 0 {
+		renewEvery = DefaultLeaseTimeout / 3
+	}
+	go func() {
+		ticker := time.NewTicker(renewEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stopRenew:
+				return
+			case <-ticker.C:
+				resp, err := client.Post(cfg.URL+pathRenew+"?lease="+lease.ID, "application/json", nil)
+				if err == nil {
+					resp.Body.Close()
+				}
+			}
+		}
+	}()
+
+	logger.Printf("fabric: executor %s: executing %s slice %d/%d (%d shards)",
+		cfg.Name, lease.Entry, lease.Index, lease.Count, plan.Shards())
+	partial, err := campaign.Execute(b.Scenario, plan, campaign.ExecConfig{Workers: cfg.Workers})
+	if err != nil {
+		return err
+	}
+	if cfg.UploadDelay > 0 {
+		logger.Printf("fabric: executor %s: delaying upload of lease %s by %s", cfg.Name, lease.ID, cfg.UploadDelay)
+		time.Sleep(cfg.UploadDelay)
+	}
+
+	var buf bytes.Buffer
+	if _, err := partial.WriteTo(&buf); err != nil {
+		return err
+	}
+	resp, err := client.Post(cfg.URL+pathUpload+"?lease="+lease.ID, "application/jsonl", &buf)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		return fmt.Errorf("upload rejected: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	var reply uploadReply
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return err
+	}
+	if reply.Accepted {
+		logger.Printf("fabric: executor %s: uploaded %s slice %d/%d", cfg.Name, lease.Entry, lease.Index, lease.Count)
+	} else {
+		// Normal under work stealing: someone else finished first.
+		logger.Printf("fabric: executor %s: upload for %s slice %d/%d ignored (%s)",
+			cfg.Name, lease.Entry, lease.Index, lease.Count, reply.Reason)
+	}
+	return nil
+}

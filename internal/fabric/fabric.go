@@ -1,0 +1,182 @@
+// Package fabric distributes a campaign spec across machines: a
+// coordinator serves every entry's deterministic slice plan over HTTP
+// to a fleet of stateless executors, which run campaign.Execute and
+// stream their version-2 JSONL partial artifacts home.
+//
+// The protocol is lease-based pull scheduling. The planner splits each
+// entry's shard range into Slices contiguous partitions (the same
+// campaign.Partition geometry the -partition flag uses, so the merged
+// result is bit-identical to a single-process run by the engine's
+// determinism law). An executor that asks for work receives a lease —
+// entry name, partition index/count, geometry fingerprint, params
+// digest, deadline — executes the slice in memory, and uploads the
+// serialized partial. A lease that misses its deadline (executor
+// crashed, hung, or was SIGKILLed) is stolen: the next executor asking
+// for work receives the same slice under a fresh lease, which is how
+// stragglers and dead workers are re-planned without operator action.
+// Because slices are pure functions of the global trial index,
+// duplicate executions are byte-identical and the coordinator simply
+// ignores a second upload of a completed slice.
+//
+// Uploads are validated before acceptance: the partial's header must
+// match the slice's plan exactly (scenario, trials, shard size,
+// partition, params digest — the format is self-describing and
+// fingerprinted, so a stale or foreign upload is rejected with a 409)
+// and must cover every shard of the slice (a truncated body is
+// rejected rather than discovered at merge time). Accepted partials
+// land under the coordinator's per-spec namespace directory with the
+// same .part<i>of<N> naming the -partition workflow uses, so the
+// final merge is spec.Built.MergePartials, unchanged.
+//
+// Between arrivals the coordinator folds the contiguous shard prefix
+// of each entry incrementally and re-decides the Wilson-CI early stop
+// exactly as campaign.Merge does: once the rule fires at shard s,
+// every slice strictly beyond s is cancelled (outstanding leases for
+// them upload into the void, harmlessly) and the campaign completes
+// without them — the merge then lands on the identical stopping shard
+// a single-process run would have.
+//
+// Endpoints: GET /spec (the raw spec bytes executors build from,
+// so executors need nothing but the coordinator URL), POST /lease,
+// POST /renew, POST /upload, GET /status (per-slice lease state,
+// trials/sec, merge progress — what cmd/campaign -status renders).
+package fabric
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"time"
+)
+
+// Default coordinator tuning. A one-minute lease is generous for
+// CI-scale slices while keeping dead-executor recovery prompt; real
+// deployments size it to their slowest slice plus renewal headroom
+// (executors renew at a third of the timeout, so a live slice is never
+// stolen while its renewals get through).
+const (
+	DefaultSlices       = 8
+	DefaultLeaseTimeout = time.Minute
+)
+
+// HTTP endpoint paths, shared by coordinator and executor.
+const (
+	pathSpec   = "/spec"
+	pathLease  = "/lease"
+	pathRenew  = "/renew"
+	pathUpload = "/upload"
+	pathStatus = "/status"
+)
+
+// Namespace returns the per-spec artifact directory under base: a
+// subdirectory keyed by the spec bytes' digest. Two different specs
+// (or two revisions of one spec) can therefore share a work directory
+// without their partials ever colliding — the groundwork for serving
+// concurrent multi-tenant specs from one coordinator fleet, without
+// committing to that service shape yet.
+func Namespace(base string, specBytes []byte) string {
+	sum := sha256.Sum256(specBytes)
+	return filepath.Join(base, "spec-"+hex.EncodeToString(sum[:6]))
+}
+
+// FetchStatus retrieves a coordinator's status snapshot — what
+// cmd/campaign -status renders. A nil client uses a short-timeout
+// default (status polls should fail fast, not hang a dashboard).
+func FetchStatus(client *http.Client, base string) (*Status, error) {
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	resp, err := client.Get(base + pathStatus)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: status: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fabric: status: %s", resp.Status)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("fabric: status: %w", err)
+	}
+	return &st, nil
+}
+
+// leaseRequest is the body of POST /lease.
+type leaseRequest struct {
+	Executor string `json:"executor"`
+}
+
+// Lease is one slice assignment on the wire. The geometry fields
+// (trials, shard size, shard count) echo the coordinator's plan so an
+// executor can verify its independently derived plan matches before
+// spending compute — any disagreement means coordinator and executor
+// built different specs and is an error, not a retry.
+type Lease struct {
+	ID           string `json:"id"`
+	Entry        string `json:"entry"`
+	Scenario     string `json:"scenario"`
+	Index        int    `json:"index"`
+	Count        int    `json:"count"`
+	Trials       int    `json:"trials"`
+	ShardSize    int    `json:"shard_size"`
+	NumShards    int    `json:"num_shards"`
+	ParamsDigest string `json:"params_digest,omitempty"`
+	DeadlineMS   int64  `json:"deadline_unix_ms"`
+	RenewMS      int64  `json:"renew_ms"`
+}
+
+// leaseReply is the response to POST /lease: exactly one of Done,
+// WaitMS or Lease is meaningful.
+type leaseReply struct {
+	Done   bool   `json:"done,omitempty"`
+	WaitMS int64  `json:"wait_ms,omitempty"`
+	Lease  *Lease `json:"lease,omitempty"`
+}
+
+// uploadReply is the response to POST /upload.
+type uploadReply struct {
+	Accepted bool   `json:"accepted"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+// Status is the coordinator's observability surface (GET /status).
+type Status struct {
+	StartUnixMS int64         `json:"start_unix_ms"`
+	UptimeSec   float64       `json:"uptime_sec"`
+	Done        bool          `json:"done"`
+	Slices      int           `json:"slices"`
+	LeaseMS     int64         `json:"lease_timeout_ms"`
+	Executors   int           `json:"executors_seen"`
+	Uploads     int           `json:"uploads_accepted"`
+	Ignored     int           `json:"uploads_ignored"`
+	Rejected    int           `json:"uploads_rejected"`
+	Steals      int           `json:"leases_stolen"`
+	Entries     []EntryStatus `json:"entries"`
+}
+
+// EntryStatus is one spec entry's progress.
+type EntryStatus struct {
+	Entry        string        `json:"entry"`
+	Scenario     string        `json:"scenario"`
+	Done         bool          `json:"done"`
+	EarlyStopped bool          `json:"early_stopped,omitempty"`
+	NumShards    int           `json:"num_shards"`
+	PrefixShards int           `json:"prefix_shards"` // merge progress: contiguous shards folded
+	DoneTrials   int           `json:"done_trials"`
+	TotalTrials  int           `json:"total_trials"`
+	TrialsPerSec float64       `json:"trials_per_sec"`
+	Slices       []SliceStatus `json:"slices"`
+}
+
+// SliceStatus is one slice's lease state.
+type SliceStatus struct {
+	Index   int    `json:"index"`
+	State   string `json:"state"` // pending | leased | done | cancelled | empty
+	Holder  string `json:"holder,omitempty"`
+	Steals  int    `json:"steals,omitempty"`
+	Trials  int    `json:"trials"`
+	Adopted bool   `json:"adopted,omitempty"` // restored from a pre-existing upload at startup
+}
