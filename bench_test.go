@@ -18,6 +18,7 @@ package repro
 import (
 	"testing"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/duplex"
 	"repro/internal/expdata"
@@ -172,6 +173,43 @@ func BenchmarkCrossValidationMonteCarlo(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(want[0], "chainP")
 	b.ReportMetric(got, "mcP")
+}
+
+// BenchmarkRareEventTiltedCampaign drives the importance-sampled
+// rare-event regime (true failure probability ~1e-9, exponential tilt
+// from the analytic chain) and reports effective trials per second —
+// the ESS the weighted estimator accumulates per wall-clock second,
+// which is the number raw trials/s overstates by the tilt's variance
+// cost. benchdiff carries etrials/s as a report-only column.
+func BenchmarkRareEventTiltedCampaign(b *testing.B) {
+	f8 := gf.MustField(8)
+	code := rs.MustNew(f8, 18, 16)
+	cfg := memsim.Config{
+		Code:             code,
+		LambdaBit:        1.7e-8,
+		LambdaSymbol:     8.5e-10,
+		ScrubPeriod:      4,
+		ExponentialScrub: true,
+		Horizon:          48,
+		Trials:           4000,
+		TiltFactor:       1.9169e4, // solved offline: chain Fail(48h) = 0.25 under the tilt
+	}
+	var ess float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := cfg
+		c.Seed = int64(i + 1)
+		_, cres, err := memsim.RunCampaign(c, campaign.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ess += cres.EffectiveSamples(memsim.CounterCapabilityExceeded)
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(ess/secs, "etrials/s")
+	}
 }
 
 func BenchmarkExtBaselinesComparison(b *testing.B) {

@@ -149,3 +149,47 @@ func TestCompareThroughputReportOnly(t *testing.T) {
 		t.Errorf("NEW line missing throughput:\n%s", buf.String())
 	}
 }
+
+// TestEffectiveTrialsReportOnly: the etrials/s custom metric from the
+// rare-event campaign benchmark is parsed, folded across repeats (max,
+// like a throughput), rendered in compare and NEW lines, and never
+// gates — a drop in effective-sample throughput shows up as a report
+// column only.
+func TestEffectiveTrialsReportOnly(t *testing.T) {
+	text := "BenchmarkRare-8 2 5e7 ns/op 3174.0 etrials/s 10 allocs/op\n" +
+		"BenchmarkRare-8 2 6e7 ns/op 2800.0 etrials/s 10 allocs/op\n"
+	got, err := parseBench(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := got["BenchmarkRare"]
+	if e.ETrialsPerS != 3174.0 {
+		t.Errorf("etrials/s parsed as %v, want max fold 3174: %+v", e.ETrialsPerS, e)
+	}
+
+	base := map[string]Entry{"BenchmarkRare": {NsPerOp: 5e7, ETrialsPerS: 3174}}
+	current := map[string]Entry{"BenchmarkRare": {NsPerOp: 5.1e7, ETrialsPerS: 900}}
+	var buf bytes.Buffer
+	failures, compared := compare(base, current, 0.25, false, &buf)
+	if failures != 0 || compared != 1 {
+		t.Errorf("failures=%d compared=%d, want 0/1 (etrials/s must not gate):\n%s",
+			failures, compared, buf.String())
+	}
+	if !strings.Contains(buf.String(), "etrials/s 3174.0 -> 900.0") {
+		t.Errorf("etrials/s column missing:\n%s", buf.String())
+	}
+
+	// Entries without the metric render no empty column.
+	buf.Reset()
+	compare(map[string]Entry{"BenchmarkP": {NsPerOp: 100}},
+		map[string]Entry{"BenchmarkP": {NsPerOp: 100}}, 0.25, false, &buf)
+	if strings.Contains(buf.String(), "etrials") {
+		t.Errorf("etrials column invented for a plain benchmark:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	compare(map[string]Entry{}, map[string]Entry{"BenchmarkN": {NsPerOp: 10, ETrialsPerS: 55.5}}, 0.25, false, &buf)
+	if !strings.Contains(buf.String(), "etrials/s 55.5") {
+		t.Errorf("NEW line missing etrials/s:\n%s", buf.String())
+	}
+}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"log"
 	"net"
@@ -92,12 +93,24 @@ func runExecutorMode(url, name string, delay time.Duration, workers int) int {
 	return 0
 }
 
-// printStatus renders a coordinator's status snapshot.
-func printStatus(url string) int {
+// printStatus renders a coordinator's status snapshot; with jsonMode
+// it emits the raw snapshot as one indented JSON document instead, so
+// dashboards and scripts consume the same fields the text render
+// summarizes without scraping it.
+func printStatus(url string, jsonMode bool) int {
 	st, err := fabric.FetchStatus(nil, strings.TrimRight(url, "/"))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
 		return 1
+	}
+	if jsonMode {
+		data, err := json.MarshalIndent(st, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+			return 1
+		}
+		fmt.Printf("%s\n", data)
+		return 0
 	}
 	state := "running"
 	if st.Done {

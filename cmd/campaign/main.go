@@ -19,6 +19,23 @@
 // fraction per matrix entry. A "replicates" field adds a seed axis
 // (independent RNG replicates of the identical configuration).
 //
+// # Rare events
+//
+// A scenario with a "sampling" block runs under importance sampling:
+// {"method":"tilt","factor":F} jointly multiplies the fault rates by
+// F and reweights every trial by its likelihood ratio, and
+// {"method":"auto"} solves the factor from the analytic simplex chain
+// and gates the weighted estimate against the chain's untilted
+// answer. Weighted scenarios render the biased-measure counts plus
+// the weighted estimate, its relative error and the effective sample
+// size; a "stop" rule with "rel_half_width" stops them once the
+// estimate's relative error is small enough. A file-level "adaptive"
+// block {"round_trials":N,"max_rounds":M} re-plans the trial budget
+// across scenarios between merge rounds, spending each round's trials
+// where the relative error is widest; adaptive specs run
+// single-process (-partition/-merge/-serve are rejected). See
+// examples/campaign/rare.json.
+//
 // # Multi-process sharding
 //
 // The engine's planner deterministically splits every scenario's
@@ -58,12 +75,15 @@
 //	campaign -spec spec.json -serve :9618 -partials work/ -out results/
 //	campaign -executor http://coordinator:9618        # on any machine, any number of times
 //	campaign -status http://coordinator:9618          # progress, lease states, trials/sec
+//	campaign -status http://coordinator:9618 -json    # the same snapshot as JSON
 //
 // The -serve process plans every scenario into -slices deterministic
 // slices and hands them to executors as leases over HTTP; executors
 // are stateless (they fetch the spec from the coordinator, so they
 // need nothing but the URL), compute their slice in memory and upload
-// the partial artifact, renewing their lease while they work. A lease
+// the partial artifact gzip-compressed (stored as-is; the artifact
+// reader sniffs the compression), renewing their lease while they
+// work. A lease
 // that expires — executor crashed, hung, or was killed — is stolen by
 // the next executor asking for work, so the campaign finishes without
 // operator action; duplicate uploads of a re-run slice are
@@ -113,6 +133,7 @@ func main() {
 		serveAddr    = flag.String("serve", "", "coordinate the spec's campaigns over HTTP on this address (e.g. :9618): executors pull slice leases, the merge runs here once every slice arrived")
 		executorURL  = flag.String("executor", "", "run as a stateless fabric executor against the coordinator at this base URL (fetches the spec from it; no -spec needed)")
 		statusURL    = flag.String("status", "", "print the fabric coordinator's status (per-slice lease state, trials/sec, merge progress) at this base URL and exit")
+		statusJSON   = flag.Bool("json", false, "with -status: print the coordinator's status snapshot as JSON instead of text")
 		slices       = flag.Int("slices", 0, "with -serve: slices per scenario, the work-stealing granularity (0 = 8)")
 		leaseTimeout = flag.Duration("lease-timeout", 0, "with -serve: how long a leased slice may go without an upload or renewal before another executor steals it (0 = 1m)")
 		execName     = flag.String("exec-name", "", "with -executor: executor name in leases and coordinator logs (default: host:pid)")
@@ -124,7 +145,10 @@ func main() {
 		os.Exit(2)
 	}
 	if *statusURL != "" {
-		os.Exit(printStatus(*statusURL))
+		os.Exit(printStatus(*statusURL, *statusJSON))
+	}
+	if *statusJSON {
+		fatal(fmt.Errorf("-json is a -status output mode; pass -status too"))
 	}
 	if *executorURL != "" {
 		// Executors are stateless: the spec comes from the coordinator,
@@ -182,6 +206,12 @@ func main() {
 	if *workers > 0 {
 		f.Workers = *workers
 	}
+	if f.Adaptive != nil && (*partition != "" || *merge || *serveAddr != "") {
+		// The adaptive allocator owns sharding: it re-plans the trial
+		// budget between rounds, which a fixed partition or a fabric
+		// lease schedule cannot follow.
+		fatal(fmt.Errorf("spec has an adaptive block, which runs single-process; drop -partition/-merge/-serve"))
+	}
 	built, err := f.BuildAll()
 	if err != nil {
 		fatal(err)
@@ -209,11 +239,12 @@ func main() {
 		}))
 	}
 	os.Exit(runCampaigns(f, built, runOptions{
-		outDir: *outDir,
-		quiet:  *quiet,
-		merge:  *merge,
-		stream: *stream,
-		dir:    *partials,
+		outDir:   *outDir,
+		quiet:    *quiet,
+		merge:    *merge,
+		stream:   *stream,
+		dir:      *partials,
+		adaptive: f.Adaptive != nil,
 	}))
 }
 
@@ -240,11 +271,12 @@ func runPartition(f *spec.File, built []*spec.Built, part campaign.Partition, di
 }
 
 type runOptions struct {
-	outDir string
-	quiet  bool
-	merge  bool // obtain results by merging partials instead of running
-	stream bool // stream samples to CSV during the merge
-	dir    string
+	outDir   string
+	quiet    bool
+	merge    bool // obtain results by merging partials instead of running
+	stream   bool // stream samples to CSV during the merge
+	dir      string
+	adaptive bool // spec has an adaptive block: results come from spec.RunAdaptive
 }
 
 // runCampaigns obtains every scenario's result (running it, or
@@ -255,6 +287,33 @@ func runCampaigns(f *spec.File, built []*spec.Built, opts runOptions) int {
 		if err := os.MkdirAll(opts.outDir, 0o755); err != nil {
 			fatal(err)
 		}
+	}
+
+	// Adaptive specs compute every result up front: RunAdaptive
+	// interleaves the scenarios in allocation rounds, so results only
+	// exist once the whole loop converged. Rendering, expectations and
+	// artifacts then reuse the ordinary per-scenario flow below.
+	var adaptiveResults []*campaign.Result
+	if opts.adaptive {
+		dir := opts.dir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "campaign-adaptive-")
+			if err != nil {
+				fatal(err)
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		logf := func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+		if opts.quiet {
+			logf = nil
+		}
+		res, err := spec.RunAdaptive(f, built, dir, logf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+			return 1
+		}
+		adaptiveResults = res
 	}
 
 	failures := 0
@@ -268,7 +327,7 @@ func runCampaigns(f *spec.File, built []*spec.Built, opts runOptions) int {
 		cellCount[b.Entry.MatrixOrigin]++
 	}
 	headerPrinted := make(map[string]bool)
-	for _, b := range built {
+	for bi, b := range built {
 		// One header per matrix (at its first cell), not one per cell —
 		// the cells' results arrive as a single grid table at the end
 		// (which also shows each cell's own trial count; "trials" can
@@ -285,7 +344,13 @@ func runCampaigns(f *spec.File, built []*spec.Built, opts runOptions) int {
 		} else {
 			fmt.Printf("=== %s (%s, %d trials) ===\n", b.Entry.Name, b.Entry.Kind, b.Scenario.Trials())
 		}
-		cres, err := obtainResult(f, b, opts)
+		var cres *campaign.Result
+		var err error
+		if adaptiveResults != nil {
+			cres = adaptiveResults[bi]
+		} else {
+			cres, err = obtainResult(f, b, opts)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "campaign: %s: %v\n", b.Entry.Name, err)
 			failures++

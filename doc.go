@@ -106,6 +106,58 @@
 // the slices into results byte-identical to an unpartitioned run —
 // the multi-process sharding workflow CI smoke-tests end to end.
 //
+// # Weighted trials: importance sampling for the 1e-9..1e-15 regime
+//
+// The engine's counters are weighted: a Worker may record a trial's
+// contribution with an arbitrary nonnegative weight (Acc.AddWeighted)
+// and the engine folds first and second weight moments per counter
+// alongside the integer counts, in every layer — shards, partial
+// artifacts (a version-3 JSONL record; version-2 artifacts load as
+// unit-weight), checkpoints, resume, partitioned merges and the
+// fabric's incremental prefix fold. Unit-weight campaigns are
+// bit-identical to the pre-weighted engine: a Result carries weight
+// moments only when some trial actually recorded a non-unit weight,
+// so existing artifacts, goldens and renderings are byte-for-byte
+// unchanged. On top of the weighted counters sit the weighted
+// estimator (Result.WeightedFraction, StdErr, RelErr,
+// EffectiveSamples) and a relative-error early-stop rule
+// (StopRule.RelHalfWidth, weighted or not) that complements the
+// Wilson rule; the merger and the fabric coordinator re-decide
+// weighted stops on the contiguous prefix exactly as they do Wilson
+// stops, preserving the determinism law.
+//
+// The first weighted scenario family is exponential tilting of the
+// fault processes in memsim and pagesim: all fault rates are jointly
+// multiplied by a factor theta>1 — only the arrival clock changes,
+// never the event-type split — and each trial carries the likelihood
+// ratio theta^-k * exp((theta-1)*R0*H) of its k arrivals, making rare
+// failures common in the biased measure while the weighted estimator
+// stays unbiased for the true probability. Spec entries opt in with a
+// "sampling" block: {"method":"tilt","factor":F} sets the factor
+// explicitly, and {"method":"auto"} solves it from the analytic
+// simplex chain (bisecting the jointly tilted rates until the chain's
+// failure probability at the horizon reaches 0.25) and installs a
+// merge-time gate requiring the weighted estimate to agree with the
+// untilted chain within four standard errors. cmd/campaign renders
+// weighted entries with the biased-measure counts plus the weighted
+// estimate, its relative error and the effective sample size, and
+// examples/campaign/rare.json resolves a p ~ 1e-9 mission (analytic
+// 1.04e-9) to ±10% relative error in under a second — brute force
+// would need ~4e10 trials for the same error. Tilted and untilted
+// artifacts never merge (the tilt factor is part of the scenario
+// fingerprint, and weighted/unweighted partial versions refuse each
+// other).
+//
+// A file-level "adaptive" block {"round_trials":N,"max_rounds":M}
+// re-plans the trial budget across scenarios between merge rounds:
+// each round evaluates every entry's current relative error from its
+// partial artifacts and allocates the next N trials proportionally to
+// squared relative error (spend where the CI is widest), executing
+// only the covering shard prefix until every stop rule fires or the
+// requested trials are exhausted — deterministic, resumable, and
+// single-process (the flag conflicts with -partition/-merge/-serve
+// are diagnosed).
+//
 // Spec entries can also carry a "matrix" field mapping parameter
 // names to value lists: the entry expands into the full cross-product
 // of cells (auto-suffixed names, shared defaults, the entry's
@@ -154,7 +206,10 @@
 // nothing but the coordinator URL: the spec itself is fetched from
 // the coordinator) as leases over plain HTTP. Executors compute their
 // slice in memory, renew their lease while working, and upload the
-// serialized partial artifact; the coordinator validates every upload
+// serialized partial artifact gzip-compressed (roughly 10:1 on JSONL;
+// the coordinator stores uploads verbatim and the artifact reader
+// sniffs the gzip magic, so compressed and plain partials mix freely
+// in one merge); the coordinator validates every upload
 // against the slice's plan (geometry, partition, params digest,
 // completeness) before accepting it into a per-spec namespace
 // directory. A lease that expires — executor crashed, hung, or
@@ -170,7 +225,8 @@
 // by CI with three executors (one SIGKILLed mid-run), is that the
 // merged artifacts are byte-identical to an unpartitioned run's. A
 // status endpoint (cmd/campaign -status) reports per-slice lease
-// state, steal counts, trials/sec and merge progress.
+// state, steal counts, trials/sec and merge progress, as text or as
+// a JSON snapshot (-status -json) for dashboards and scripts.
 //
 // Campaign identity is guarded end to end: partial artifacts and
 // checkpoints carry the scenario name, geometry and — when run
@@ -203,8 +259,13 @@
 // diffs the merged artifacts byte-for-byte against the unpartitioned
 // run. Every job carries a timeout, and failing e2e jobs upload their
 // logs and partial artifacts for post-mortem.
-// The nightly workflow reruns the accelerated SSMM mission and the
-// interleaved-page mission (10k deterministic trials each) and fails
-// if any measured probability leaves its tolerance band in
+// The ci smoke also runs the rare-event spec
+// (examples/campaign/rare.json), which gates both the importance-
+// sampling machinery (the auto-tilt chain agreement gate) and the
+// spec's own tolerance band around the analytic 1.04e-9.
+// The nightly workflow reruns the accelerated SSMM mission, the
+// interleaved-page mission (10k deterministic trials each) and a
+// tilted rare-event simplex mission, and fails if any measured
+// probability leaves its tolerance band in
 // examples/campaign/nightly.json.
 package repro

@@ -1,0 +1,94 @@
+package campaign
+
+import "math"
+
+// CellState is the allocator's view of one matrix cell between merge
+// rounds: how many trials its folded prefix covers, whether its stop
+// rule already fired (or its trial budget is exhausted), and the
+// current relative half-width of its headline estimator.
+type CellState struct {
+	// Name identifies the cell in the caller's bookkeeping; the
+	// allocator only echoes it.
+	Name string
+	// Trials is the number of trials folded so far.
+	Trials int
+	// Done marks a cell that needs no more work: its stop rule fired
+	// or it has consumed its requested trial budget.
+	Done bool
+	// RelErr is the current relative half-width of the cell's headline
+	// estimator (z * stderr / estimate). +Inf or NaN — no events seen
+	// yet — is treated as the widest possible interval.
+	RelErr float64
+}
+
+// allocRelErrCap bounds the weight a single starved cell (huge or
+// infinite relative error) can claim, so cells that have seen no
+// events yet share the budget instead of monopolizing it.
+const allocRelErrCap = 10.0
+
+// Allocate distributes budget additional trials across the open cells
+// in proportion to the square of each cell's relative error — the
+// next round of work goes where the confidence interval is widest,
+// which is the allocation that (to first order) equalizes the
+// marginal variance reduction per trial. Cells marked Done receive
+// zero. The result is deterministic: shares are rounded by the
+// largest-remainder method with ties broken by slice order, and the
+// returned slice is indexed like cells. A budget <= 0 or an all-done
+// cell set returns all zeros.
+func Allocate(cells []CellState, budget int) []int {
+	out := make([]int, len(cells))
+	if budget <= 0 {
+		return out
+	}
+	weights := make([]float64, len(cells))
+	total := 0.0
+	for i, c := range cells {
+		if c.Done {
+			continue
+		}
+		re := c.RelErr
+		if math.IsNaN(re) || re > allocRelErrCap {
+			re = allocRelErrCap
+		}
+		if re <= 0 {
+			// A zero-width interval on an open cell still deserves a
+			// token share so it can make progress toward Done.
+			re = 1e-6
+		}
+		weights[i] = re * re
+		total += weights[i]
+	}
+	if total <= 0 {
+		return out
+	}
+	// Largest-remainder rounding: floor every share, then hand the
+	// leftover trials one each to the largest fractional parts, ties
+	// broken by slice order. Fully deterministic for a given input.
+	rem := make([]float64, len(cells))
+	assigned := 0
+	for i := range cells {
+		if weights[i] == 0 {
+			rem[i] = -1
+			continue
+		}
+		share := float64(budget) * weights[i] / total
+		fl := math.Floor(share)
+		out[i] = int(fl)
+		assigned += out[i]
+		rem[i] = share - fl
+	}
+	for left := budget - assigned; left > 0; left-- {
+		best := -1
+		for i, r := range rem {
+			if r >= 0 && (best == -1 || r > rem[best]) {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		out[best]++
+		rem[best] = -1
+	}
+	return out
+}

@@ -81,6 +81,21 @@ type Worker interface {
 	Trial(trial int, acc *Acc) error
 }
 
+// WeightedScenario is implemented by scenarios whose trials carry
+// importance-sampling weights (per-trial likelihood ratios recorded
+// through Acc.AddWeighted). The planner stamps the flag into the plan
+// so every layer — executor early stop, merger, fabric coordinator —
+// evaluates the relative-error rule on the weighted estimator instead
+// of the Wilson interval, and partial artifacts carry the version-3
+// weight-moment records.
+type WeightedScenario interface {
+	Scenario
+	// Weighted reports whether trials record likelihood-ratio weights.
+	// A scenario returning false behaves exactly like a plain Scenario
+	// (unit weights, version-2 artifacts, Wilson early stop).
+	Weighted() bool
+}
+
 // TrialSeed derives the deterministic per-trial RNG seed every
 // scenario in this repository uses: reseeding a worker-owned
 // generator with TrialSeed(base, i) makes trial i reproducible
@@ -102,10 +117,38 @@ type Note struct {
 	Text  string `json:"text"`
 }
 
+// Moments are the first two weight moments of a counter: the sum of
+// per-increment weights and the sum of their squares. For N trials of
+// which the counter's event occurred with likelihood ratios w_i, the
+// unbiased estimate of the nominal-measure probability is WSum/N, its
+// standard error sqrt((WSum2/N - (WSum/N)^2)/N), and the effective
+// sample size WSum^2/WSum2. Unit weights give WSum == WSum2 == the
+// integer counter.
+type Moments struct {
+	WSum  float64 `json:"wsum"`
+	WSum2 float64 `json:"wsum2"`
+}
+
+// add folds another moment pair in (counters merge by addition, so do
+// their weight moments).
+func (m *Moments) add(o Moments) {
+	m.WSum += o.WSum
+	m.WSum2 += o.WSum2
+}
+
+// ESS returns the effective sample size (WSum^2/WSum2, 0 when empty).
+func (m Moments) ESS() float64 {
+	if m.WSum2 <= 0 {
+		return 0
+	}
+	return m.WSum * m.WSum / m.WSum2
+}
+
 // Acc accumulates the output of one shard's trials. It is not safe
 // for concurrent use; the engine hands each shard its own.
 type Acc struct {
 	counters map[string]int64
+	weights  map[string]Moments
 	samples  []Sample
 	notes    []Note
 }
@@ -118,6 +161,24 @@ func NewAcc() *Acc {
 // Add increments a named counter.
 func (a *Acc) Add(counter string, delta int64) {
 	a.counters[counter] += delta
+}
+
+// AddWeighted records one weighted occurrence of a counter: the
+// integer counter still advances by one (the raw number of simulated
+// events, what Add would have recorded), and the counter's weight
+// moments accumulate the trial's likelihood ratio w and w². Workers
+// call it once per trial per outcome counter, with w the trial's
+// importance-sampling weight; AddWeighted(c, 1) is equivalent to
+// Add(c, 1) plus unit moments.
+func (a *Acc) AddWeighted(counter string, w float64) {
+	a.counters[counter]++
+	if a.weights == nil {
+		a.weights = make(map[string]Moments)
+	}
+	m := a.weights[counter]
+	m.WSum += w
+	m.WSum2 += w * w
+	a.weights[counter] = m
 }
 
 // Counter returns a counter's accumulated value (0 when absent), so
@@ -195,6 +256,38 @@ func (s *EarlyStop) satisfied(successes int64, trials int) bool {
 	return (hi-lo)/2 <= s.RelHalfWidth*p
 }
 
+// SatisfiedWeighted is the stop rule's form for weighted campaigns: it
+// fires when the relative error of the weighted estimator — z times
+// its standard error over the point estimate — is at most
+// RelHalfWidth. Like the Wilson form it is evaluated only on
+// contiguous shard prefixes, so the stopping shard stays a pure
+// function of the shard contents. Exported for the fabric
+// coordinator's incremental re-decision, mirroring Satisfied.
+func (s *EarlyStop) SatisfiedWeighted(m Moments, trials int) bool {
+	if trials < s.MinTrials || m.WSum <= 0 {
+		return false
+	}
+	p := m.WSum / float64(trials)
+	se := WeightedStdErr(m, trials)
+	return s.z()*se <= s.RelHalfWidth*p
+}
+
+// WeightedStdErr returns the standard error of the weighted estimator
+// WSum/trials: sqrt((WSum2/N - p²)/N). The inner difference is an
+// empirical variance, so it is clamped at zero against float rounding.
+func WeightedStdErr(m Moments, trials int) float64 {
+	if trials == 0 {
+		return 0
+	}
+	n := float64(trials)
+	p := m.WSum / n
+	v := (m.WSum2/n - p*p) / n
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
 // DefaultShardSize is the trial count per shard when Config.ShardSize
 // is zero: small enough that checkpoints and early-stop checks are
 // frequent, large enough that shard dispatch overhead is invisible.
@@ -250,8 +343,12 @@ type Result struct {
 	// than recomputed in this run.
 	ResumedTrials int              `json:"resumed_trials,omitempty"`
 	Counters      map[string]int64 `json:"counters"`
-	Samples       []Sample         `json:"samples,omitempty"`
-	Notes         []Note           `json:"notes,omitempty"`
+	// Weights carries the per-counter weight moments of a weighted
+	// (importance-sampled) campaign; nil for unit-weight runs, so
+	// their serialized results are unchanged.
+	Weights map[string]Moments `json:"weights,omitempty"`
+	Samples []Sample           `json:"samples,omitempty"`
+	Notes   []Note             `json:"notes,omitempty"`
 }
 
 // Counter returns a counter value (0 when absent).
@@ -263,6 +360,46 @@ func (r *Result) Fraction(name string) float64 {
 		return 0
 	}
 	return float64(r.Counters[name]) / float64(r.Trials)
+}
+
+// WeightedFraction returns the weighted estimate of a counter's
+// nominal-measure probability (WSum/Trials); for counters without
+// weight moments it falls back to Fraction, so callers can use it
+// unconditionally.
+func (r *Result) WeightedFraction(name string) float64 {
+	if m, ok := r.Weights[name]; ok && r.Trials > 0 {
+		return m.WSum / float64(r.Trials)
+	}
+	return r.Fraction(name)
+}
+
+// StdErr returns the standard error of WeightedFraction(name). For
+// unit-weight counters this is the binomial sqrt(p(1-p)/N).
+func (r *Result) StdErr(name string) float64 {
+	if m, ok := r.Weights[name]; ok {
+		return WeightedStdErr(m, r.Trials)
+	}
+	c := float64(r.Counters[name])
+	return WeightedStdErr(Moments{WSum: c, WSum2: c}, r.Trials)
+}
+
+// RelErr returns the relative error of the weighted estimate at the
+// given z (z·stderr/estimate), or +Inf when the estimate is zero.
+func (r *Result) RelErr(name string, z float64) float64 {
+	p := r.WeightedFraction(name)
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	return z * r.StdErr(name) / p
+}
+
+// EffectiveSamples returns the effective sample size of a weighted
+// counter (WSum²/WSum2); unit-weight counters report their raw count.
+func (r *Result) EffectiveSamples(name string) float64 {
+	if m, ok := r.Weights[name]; ok {
+		return m.ESS()
+	}
+	return float64(r.Counters[name])
 }
 
 // CounterNames returns the sorted counter keys.

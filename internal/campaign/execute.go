@@ -38,8 +38,17 @@ type ExecConfig struct {
 	// plan covers the whole campaign (its local shard prefix is then
 	// the global prefix); a partitioned executor runs its entire slice
 	// — over-running a would-be stopping point — and Merge decides the
-	// stop deterministically on the contiguous global prefix.
+	// stop deterministically on the contiguous global prefix. Weighted
+	// plans decide the stop with the relative-error rule
+	// (SatisfiedWeighted) instead of the Wilson interval.
 	Stop *EarlyStop
+	// MaxShards, when positive, bounds how many pending (not yet
+	// completed) shards this call executes, in shard order. The
+	// adaptive allocator uses it to grow a campaign's artifact by a
+	// budgeted increment per round; a later call with the same
+	// artifact resumes where the bounded one left off, so bounded and
+	// unbounded executions reach the identical artifact.
+	MaxShards int
 	// Progress, when non-nil, is called from the collector as trials
 	// complete (monotonically, including resumed trials), with the
 	// partition's trial total.
@@ -78,6 +87,9 @@ func Execute(scn Scenario, plan *Plan, cfg ExecConfig) (*Partial, error) {
 			pending = append(pending, i)
 		}
 	}
+	if cfg.MaxShards > 0 && len(pending) > cfg.MaxShards {
+		pending = pending[:cfg.MaxShards]
+	}
 
 	// Early-stop and contiguous-prefix state, meaningful only for a
 	// full plan (local prefix == global prefix). An artifact-restored
@@ -89,6 +101,7 @@ func Execute(scn Scenario, plan *Plan, cfg ExecConfig) (*Partial, error) {
 		stopFlag     int64
 		prefix       = plan.First
 		prefixCounts = make(map[string]int64)
+		prefixW      Moments
 		stopped      = false
 	)
 	useStop := cfg.Stop != nil && plan.Full()
@@ -103,7 +116,13 @@ func Execute(scn Scenario, plan *Plan, cfg ExecConfig) (*Partial, error) {
 			atomic.StoreInt64(&stopFlag, 1)
 			return
 		}
-		if cfg.Stop.satisfied(successes, trialsSoFar) {
+		fired := false
+		if plan.Weighted {
+			fired = cfg.Stop.SatisfiedWeighted(prefixW, trialsSoFar)
+		} else {
+			fired = cfg.Stop.satisfied(successes, trialsSoFar)
+		}
+		if fired {
 			stopped = true
 			atomic.StoreInt64(&stopFlag, 1)
 		}
@@ -112,6 +131,11 @@ func Execute(scn Scenario, plan *Plan, cfg ExecConfig) (*Partial, error) {
 		for prefix < plan.End && partial.has(prefix) {
 			for k, v := range partial.counters[prefix] {
 				prefixCounts[k] += v
+			}
+			if useStop && plan.Weighted {
+				if m, ok := partial.ShardWeights(prefix, cfg.Stop.Counter); ok {
+					prefixW.add(m)
+				}
 			}
 			prefix++
 			checkStop()
@@ -232,10 +256,17 @@ func Execute(scn Scenario, plan *Plan, cfg ExecConfig) (*Partial, error) {
 		rec := &shardRecord{
 			Index:    done.index,
 			Counters: done.acc.counters,
+			Weights:  wireWeights(done.acc.weights),
 			Samples:  done.acc.samples,
 			Notes:    done.acc.notes,
 		}
-		partial.record(rec)
+		if err := partial.record(rec); err != nil {
+			if firstErr == nil {
+				firstErr = err
+				atomic.StoreInt64(&stopFlag, 1)
+			}
+			continue
+		}
 		if appender != nil {
 			buffered = append(buffered, rec)
 		}
@@ -310,6 +341,13 @@ func preparePartial(plan *Plan, artifact string) (*Partial, *partialAppender, er
 			artifact, existing.header.Scenario, existing.header.Trials, existing.header.ShardSize, existing.header.partition(),
 			plan.Scenario, plan.Trials, plan.ShardSize, plan.Part)
 	}
+	if existing.header.Version != header.Version {
+		return nil, nil, fmt.Errorf("campaign: partial %s has artifact version %d, want %d",
+			artifact, existing.header.Version, header.Version)
+	}
+	if appendAt == appendGzip {
+		return nil, nil, fmt.Errorf("campaign: partial %s is gzip-compressed (read-only at rest): decompress it or choose a new checkpoint path", artifact)
+	}
 	if existing.header.digestConflicts(header) {
 		// Same scenario name and geometry but a different parameter
 		// set: the spec's params were edited since the artifact was
@@ -326,7 +364,7 @@ func preparePartial(plan *Plan, artifact string) (*Partial, *partialAppender, er
 		}
 	}
 	existing.resumed = existing.DoneTrials()
-	if appendAt < 0 {
+	if appendAt == appendRewrite {
 		// Version-1 checkpoint: rewrite as version 2 so new shards can
 		// be appended. The in-memory records move to the file. The
 		// migrated header keeps the checkpoint's own (digest-less)

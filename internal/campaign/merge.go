@@ -38,6 +38,12 @@ type MergeConfig struct {
 	// edited spec and the merge is refused. Partials without a digest
 	// (pre-digest artifacts) pass — the documented caveat.
 	ParamsDigest string
+	// AllowIncomplete folds only the contiguous complete shard prefix
+	// instead of refusing a merge with missing shards: the Result's
+	// Trials then reflect the folded prefix. The adaptive allocator
+	// uses it to read out a budget-bounded campaign whose stop rule
+	// never fired. At least one leading shard must be complete.
+	AllowIncomplete bool
 }
 
 // Merge folds any set of partial results — from one process or many —
@@ -78,6 +84,10 @@ func Merge(partials []*Partial, cfg MergeConfig) (*Result, error) {
 		if !h.geometryMatches(head) {
 			return nil, fmt.Errorf("campaign: partial %s is from campaign %q, want %q", describePartial(p), h.fingerprint(), head.fingerprint())
 		}
+		if h.Version != head.Version {
+			return nil, fmt.Errorf("campaign: partial %s has artifact version %d, want %d: weighted and unweighted partials cannot merge",
+				describePartial(p), h.Version, head.Version)
+		}
 		if h.digestConflicts(digestHolder) {
 			return nil, fmt.Errorf("campaign: partial %s was computed under different scenario params (digest %s, want %s): it is stale — recompute it or revert the spec edit",
 				describePartial(p), h.ParamsDigest, digestHolder.ParamsDigest)
@@ -112,16 +122,36 @@ func Merge(partials []*Partial, cfg MergeConfig) (*Result, error) {
 		return shardSpan(idx, head.ShardSize, head.Trials)
 	}
 	counters := make(map[string]int64)
+	weighted := head.Version == partialVersionWeighted
+	var weights map[string]Moments
+	if weighted {
+		weights = make(map[string]Moments)
+	}
 	useShards := numShards
 	earlyStopped := false
 	for i := 0; i < numShards; i++ {
 		p, ok := owner[i]
 		if !ok {
+			// With AllowIncomplete the contiguous complete prefix is the
+			// result; without it a missing shard is a refused merge.
+			if cfg.AllowIncomplete && i > 0 {
+				useShards = i
+				break
+			}
 			return nil, fmt.Errorf("campaign: %s: incomplete merge: shard %d of %d missing from the %d given partial(s)",
 				head.Scenario, i, numShards, len(partials))
 		}
 		for k, v := range p.counters[i] {
 			counters[k] += v
+		}
+		if weighted {
+			// Only counters recorded via AddWeighted carry moments;
+			// diagnostics folded with Add stay integer-only.
+			for k, m := range p.weights[i] {
+				w := weights[k]
+				w.add(m)
+				weights[k] = w
+			}
 		}
 		if cfg.Stop != nil {
 			_, trialsSoFar := span(i)
@@ -129,7 +159,13 @@ func Merge(partials []*Partial, cfg MergeConfig) (*Result, error) {
 			if err := checkBinomial(head.Scenario, cfg.Stop.Counter, successes, trialsSoFar); err != nil {
 				return nil, err
 			}
-			if cfg.Stop.satisfied(successes, trialsSoFar) {
+			var fired bool
+			if weighted {
+				fired = cfg.Stop.SatisfiedWeighted(weights[cfg.Stop.Counter], trialsSoFar)
+			} else {
+				fired = cfg.Stop.satisfied(successes, trialsSoFar)
+			}
+			if fired {
 				useShards = i + 1
 				earlyStopped = useShards < numShards
 				break
@@ -151,6 +187,9 @@ func Merge(partials []*Partial, cfg MergeConfig) (*Result, error) {
 		// The prefix loop stops folding counters at the stopping shard,
 		// so the totals cover exactly [0, useShards).
 		Counters: counters,
+	}
+	if weighted {
+		res.Weights = weights
 	}
 
 	// Pass 2: stream samples and notes in shard (= trial) order,

@@ -3,6 +3,7 @@ package campaign
 import (
 	"bufio"
 	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -24,10 +25,26 @@ import (
 // and truncated away before the next append, so the file is always
 // resumable. Version 1 is the legacy single-object checkpoint written
 // by earlier releases; readPartial migrates it transparently (same
-// shard contents, partition 0/1 implied).
+// shard contents, partition 0/1 implied). Version 3 is version 2 plus
+// per-shard weight moments for importance-sampled campaigns; version-2
+// files load as unit-weight (nil moments), exactly as version-1 files
+// load as partition 0/1.
+//
+// Artifacts may also be stored gzip-compressed at rest (the fabric
+// coordinator's format): readPartial sniffs the gzip magic bytes and
+// decompresses transparently. Compressed artifacts are read-only —
+// they merge and adopt normally but refuse resume-appending.
 const (
-	partialVersionLegacy = 1
-	partialVersion       = 2
+	partialVersionLegacy   = 1
+	partialVersion         = 2
+	partialVersionWeighted = 3
+)
+
+// appendAt sentinel values returned by readPartial for artifacts that
+// cannot be appended to in place.
+const (
+	appendRewrite = -1 // legacy version 1: rewrite as JSONL first
+	appendGzip    = -2 // gzip at rest: read-only
 )
 
 // partialHeader is the first line of a version-2 artifact.
@@ -82,12 +99,60 @@ func (h partialHeader) numShards() int {
 }
 
 // shardRecord is one completed shard on the wire (and the in-memory
-// record of an artifact-less execution).
+// record of an artifact-less execution). Weights is the version-3
+// extension: per-counter weight moments, absent for unit-weight
+// shards so version-2 bytes are unchanged.
 type shardRecord struct {
-	Index    int              `json:"index"`
-	Counters map[string]int64 `json:"counters,omitempty"`
-	Samples  []Sample         `json:"samples,omitempty"`
-	Notes    []Note           `json:"notes,omitempty"`
+	Index    int                   `json:"index"`
+	Counters map[string]int64      `json:"counters,omitempty"`
+	Weights  map[string]momentWire `json:"weights,omitempty"`
+	Samples  []Sample              `json:"samples,omitempty"`
+	Notes    []Note                `json:"notes,omitempty"`
+}
+
+// momentWire is the JSON form of Moments: strconv-formatted strings
+// for the same reason as sampleWire — FormatFloat('g', -1) round-trips
+// every float64 bit pattern exactly, which the merge-equals-single-
+// process guarantee extends to weight moments.
+type momentWire struct {
+	WSum  string `json:"wsum"`
+	WSum2 string `json:"wsum2"`
+}
+
+// wireWeights converts in-memory moments to their wire form (nil in,
+// nil out, keeping unit-weight records weightless).
+func wireWeights(m map[string]Moments) map[string]momentWire {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]momentWire, len(m))
+	for k, v := range m {
+		out[k] = momentWire{
+			WSum:  strconv.FormatFloat(v.WSum, 'g', -1, 64),
+			WSum2: strconv.FormatFloat(v.WSum2, 'g', -1, 64),
+		}
+	}
+	return out
+}
+
+// parseWeights converts wire moments back (nil in, nil out).
+func parseWeights(m map[string]momentWire) (map[string]Moments, error) {
+	if m == nil {
+		return nil, nil
+	}
+	out := make(map[string]Moments, len(m))
+	for k, v := range m {
+		wsum, err := strconv.ParseFloat(v.WSum, 64)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: weight wsum %q: %w", v.WSum, err)
+		}
+		wsum2, err := strconv.ParseFloat(v.WSum2, 64)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: weight wsum2 %q: %w", v.WSum2, err)
+		}
+		out[k] = Moments{WSum: wsum, WSum2: wsum2}
+	}
+	return out, nil
 }
 
 // legacyCheckpoint is the version-1 single-object schema.
@@ -151,8 +216,9 @@ type Partial struct {
 	resumed int // trials restored from a pre-existing artifact
 
 	counters map[int]map[string]int64
-	mem      map[int]*shardRecord // artifact-less records
-	loc      map[int][2]int64     // file-backed record {offset, length}
+	weights  map[int]map[string]Moments // per-shard weight moments (nil maps for unit-weight shards)
+	mem      map[int]*shardRecord       // artifact-less (or gzip-loaded) records
+	loc      map[int][2]int64           // file-backed record {offset, length}
 
 	path string
 	file *os.File // lazily opened read handle for Load
@@ -249,6 +315,24 @@ func (p *Partial) ShardCounter(idx int, name string) (v int64, ok bool) {
 	return c[name], true
 }
 
+// ShardWeights returns the weight moments a completed shard recorded
+// for one counter. Unit-weight shards (and version-2 artifacts, which
+// predate moments) report the integer counter as both moments —
+// exactly the unit-weight identity WSum == WSum2 == count — so prefix
+// folds can mix old and new shards without special cases. ok mirrors
+// ShardCounter.
+func (p *Partial) ShardWeights(idx int, name string) (m Moments, ok bool) {
+	c, ok := p.counters[idx]
+	if !ok {
+		return Moments{}, false
+	}
+	if w, found := p.weights[idx][name]; found {
+		return w, true
+	}
+	v := float64(c[name])
+	return Moments{WSum: v, WSum2: v}, true
+}
+
 // MatchesPlan validates that this partial is the output of exactly the
 // given plan: same campaign geometry (scenario, trials, shard size),
 // same partition, no params-digest conflict, and every completed shard
@@ -261,6 +345,10 @@ func (p *Partial) MatchesPlan(plan *Plan) error {
 		return fmt.Errorf("campaign: partial %s is for scenario %q (%d trials, shard %d, partition %s), want %q (%d trials, shard %d, partition %s)",
 			describePartial(p), p.header.Scenario, p.header.Trials, p.header.ShardSize, p.header.partition(),
 			plan.Scenario, plan.Trials, plan.ShardSize, plan.Part)
+	}
+	if p.header.Version != h.Version {
+		return fmt.Errorf("campaign: partial %s has artifact version %d, want %d",
+			describePartial(p), p.header.Version, h.Version)
 	}
 	if p.header.digestConflicts(h) {
 		return fmt.Errorf("campaign: partial %s was computed under different scenario params (digest %s, want %s)",
@@ -343,17 +431,29 @@ func newMemPartial(plan *Plan) *Partial {
 }
 
 // record stores a completed shard in memory.
-func (p *Partial) record(rec *shardRecord) {
+func (p *Partial) record(rec *shardRecord) error {
+	w, err := parseWeights(rec.Weights)
+	if err != nil {
+		return err
+	}
 	p.counters[rec.Index] = rec.Counters
+	if w != nil {
+		if p.weights == nil {
+			p.weights = make(map[int]map[string]Moments)
+		}
+		p.weights[rec.Index] = w
+	}
 	if p.mem != nil {
 		p.mem[rec.Index] = rec
 	}
+	return nil
 }
 
-// OpenPartial reads a partial-result artifact (version 2, or a legacy
-// version-1 checkpoint, which loads as partition 0/1 with identical
-// shard contents) for merging. A version-2 file keeps only per-shard
-// counters resident; samples are re-read on demand.
+// OpenPartial reads a partial-result artifact (version 2 or 3, or a
+// legacy version-1 checkpoint, which loads as partition 0/1 with
+// identical shard contents) for merging. A plain JSONL file keeps
+// only per-shard counters resident (samples are re-read on demand);
+// a gzip-compressed one loads fully into memory.
 func OpenPartial(path string) (*Partial, error) {
 	p, _, err := readPartial(path)
 	if err != nil {
@@ -365,11 +465,21 @@ func OpenPartial(path string) (*Partial, error) {
 	return p, nil
 }
 
-// readPartial loads an artifact in either format. It returns the
-// partial, the byte offset at which a version-2 file's next append
+// ReadPartial is OpenPartial for callers that treat a missing file as
+// "no state yet": it returns (nil, nil) when the artifact does not
+// exist. The adaptive allocator polls cell artifacts this way between
+// rounds.
+func ReadPartial(path string) (*Partial, error) {
+	p, _, err := readPartial(path)
+	return p, err
+}
+
+// readPartial loads an artifact in any format. It returns the
+// partial, the byte offset at which a plain JSONL file's next append
 // belongs (the end of the last complete record — a torn tail is
 // excluded), and nil, nil, nil for a missing file. Version-1 files
-// return appendAt < 0 (they must be rewritten before appending).
+// return appendRewrite (they must be rewritten before appending);
+// gzip-compressed files return appendGzip (read-only at rest).
 func readPartial(path string) (*Partial, int64, error) {
 	f, err := os.Open(path)
 	if errors.Is(err, fs.ErrNotExist) {
@@ -381,6 +491,16 @@ func readPartial(path string) (*Partial, int64, error) {
 	defer f.Close()
 
 	br := bufio.NewReaderSize(f, 1<<16)
+	gzipped := false
+	if magic, _ := br.Peek(2); len(magic) == 2 && magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, zerr := gzip.NewReader(br)
+		if zerr != nil {
+			return nil, 0, fmt.Errorf("campaign: decompress partial %s: %w", path, zerr)
+		}
+		defer zr.Close()
+		br = bufio.NewReaderSize(zr, 1<<16)
+		gzipped = true
+	}
 	first, err := br.ReadBytes('\n')
 	if err != nil && err != io.EOF {
 		return nil, 0, fmt.Errorf("campaign: read partial %s: %w", path, err)
@@ -399,6 +519,9 @@ func readPartial(path string) (*Partial, int64, error) {
 	}
 	switch header.Version {
 	case partialVersionLegacy:
+		if gzipped {
+			return nil, 0, fmt.Errorf("campaign: partial %s is a compressed legacy checkpoint (not supported)", path)
+		}
 		// The whole file is one version-1 JSON object; the "header" we
 		// just parsed is the object itself (field names overlap), but
 		// re-read it as the legacy schema to get the shards.
@@ -432,11 +555,13 @@ func readPartial(path string) (*Partial, int64, error) {
 			if rec.Counters == nil {
 				rec.Counters = make(map[string]int64)
 			}
-			p.record(&rec)
+			if err := p.record(&rec); err != nil {
+				return nil, 0, fmt.Errorf("campaign: checkpoint %s: %w", path, err)
+			}
 		}
-		return p, -1, nil
+		return p, appendRewrite, nil
 
-	case partialVersion:
+	case partialVersion, partialVersionWeighted:
 		if header.Trials <= 0 || header.ShardSize <= 0 {
 			return nil, 0, fmt.Errorf("campaign: partial %s has invalid geometry (%d trials, shard %d)", path, header.Trials, header.ShardSize)
 		}
@@ -446,8 +571,14 @@ func readPartial(path string) (*Partial, int64, error) {
 		p := &Partial{
 			header:   header,
 			counters: make(map[int]map[string]int64),
-			loc:      make(map[int][2]int64),
 			path:     path,
+		}
+		if gzipped {
+			// Byte offsets into the compressed file are useless for
+			// on-demand re-reads, so records stay resident.
+			p.mem = make(map[int]*shardRecord)
+		} else {
+			p.loc = make(map[int][2]int64)
 		}
 		numShards := header.numShards()
 		offset := int64(len(first))
@@ -472,8 +603,12 @@ func readPartial(path string) (*Partial, int64, error) {
 					if rec.Counters == nil {
 						rec.Counters = make(map[string]int64)
 					}
-					p.counters[rec.Index] = rec.Counters
-					p.loc[rec.Index] = [2]int64{offset, int64(len(line))}
+					if err := p.record(&rec); err != nil {
+						return nil, 0, fmt.Errorf("campaign: partial %s shard %d: %w", path, rec.Index, err)
+					}
+					if !gzipped {
+						p.loc[rec.Index] = [2]int64{offset, int64(len(line))}
+					}
 				}
 			}
 			offset += int64(len(line))
@@ -484,9 +619,12 @@ func readPartial(path string) (*Partial, int64, error) {
 				break
 			}
 		}
+		if gzipped {
+			appendAt = appendGzip
+		}
 		return p, appendAt, nil
 	}
-	return nil, 0, fmt.Errorf("campaign: partial %s has version %d, want %d", path, header.Version, partialVersion)
+	return nil, 0, fmt.Errorf("campaign: partial %s has version %d, want %d or %d", path, header.Version, partialVersion, partialVersionWeighted)
 }
 
 // partialAppender appends shard records to a version-2 artifact.

@@ -94,6 +94,12 @@ type Plan struct {
 	// Config.ParamsDigest); set it before Execute. "" disables the
 	// digest check.
 	ParamsDigest string
+	// Weighted records that the scenario's trials carry
+	// importance-sampling weights (see WeightedScenario): partial
+	// artifacts are written as version 3 with per-shard weight
+	// moments, and early stopping uses the relative-error rule
+	// instead of the Wilson interval.
+	Weighted bool
 }
 
 // NewPlan validates the scenario geometry and computes the partition's
@@ -117,6 +123,10 @@ func NewPlan(scn Scenario, shardSize int, part Partition) (*Plan, error) {
 	}
 	numShards := (total + shardSize - 1) / shardSize
 	first, end := part.shardRange(numShards)
+	weighted := false
+	if ws, ok := scn.(WeightedScenario); ok {
+		weighted = ws.Weighted()
+	}
 	return &Plan{
 		Scenario:  scn.Name(),
 		Trials:    total,
@@ -125,6 +135,7 @@ func NewPlan(scn Scenario, shardSize int, part Partition) (*Plan, error) {
 		Part:      part,
 		First:     first,
 		End:       end,
+		Weighted:  weighted,
 	}, nil
 }
 
@@ -155,8 +166,12 @@ func (p *Plan) Full() bool { return p.Part.Count == 1 }
 // identity; the file-backed and in-memory partial paths must build
 // the exact same header or resume/merge validation would diverge.
 func (p *Plan) header() partialHeader {
+	version := partialVersion
+	if p.Weighted {
+		version = partialVersionWeighted
+	}
 	return partialHeader{
-		Version:        partialVersion,
+		Version:        version,
 		Scenario:       p.Scenario,
 		Trials:         p.Trials,
 		ShardSize:      p.ShardSize,

@@ -100,6 +100,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strings"
@@ -126,6 +127,13 @@ type File struct {
 	Workers   int     `json:"workers,omitempty"`
 	ShardSize int     `json:"shard_size,omitempty"`
 	Scenarios []Entry `json:"scenarios"`
+	// Adaptive, when set, replaces the run-every-entry-to-completion
+	// execution with round-based adaptive allocation (see RunAdaptive):
+	// each round distributes a fixed trial budget across the scenarios
+	// in proportion to their squared relative errors, so trials flow to
+	// the cells with the widest confidence intervals. Requires every
+	// scenario to carry a stop rule (the allocator's target).
+	Adaptive *Adaptive `json:"adaptive,omitempty"`
 }
 
 // Entry is one scenario of a spec file — or, when Matrix is set, a
@@ -137,6 +145,7 @@ type Entry struct {
 	Checkpoint string          `json:"checkpoint,omitempty"`
 	Stop       *Stop           `json:"stop,omitempty"`
 	Expect     []Expectation   `json:"expect,omitempty"`
+	Sampling   *Sampling       `json:"sampling,omitempty"`
 
 	// Matrix maps parameter names to value lists; File.Expand replaces
 	// the entry with the cross-product of cells (auto-suffixed names,
@@ -161,6 +170,66 @@ type Entry struct {
 	MatrixParams []MatrixAssignment `json:"-"`
 }
 
+// Sampling selects a variance-reduction strategy for a Monte Carlo
+// entry (kinds "memsim" and "interleave"):
+//
+//	"sampling": {"method": "tilt", "factor": 100}
+//	"sampling": {"method": "auto"}
+//
+// "tilt" exponentially tilts the fault arrival process: every fault
+// rate is jointly multiplied by the factor (> 1), each trial carries
+// its exact likelihood ratio into the engine's weighted counters, and
+// the entry's results report the unbiased weighted estimator with a
+// relative-error interval and effective sample size. "auto" (simplex
+// memsim with exponential or no scrubbing only) solves the factor
+// from the analytic Markov chain so the tilted failure probability
+// lands near 25%, and additionally gates the weighted estimate
+// against the chain's exact answer at merge time. Tilted and
+// untilted campaigns write distinct artifacts (the tilt factor is
+// part of the scenario identity), so changing the sampling block
+// never silently merges trials drawn from different measures.
+type Sampling struct {
+	Method string  `json:"method"`
+	Factor float64 `json:"factor,omitempty"`
+}
+
+// Sampling method names.
+const (
+	SampleTilt = "tilt"
+	SampleAuto = "auto"
+)
+
+// autoTiltTarget is the tilted failure probability the "auto" method
+// solves for: far enough from 0 that failures are common, far enough
+// from 1 that the likelihood ratios stay informative.
+const autoTiltTarget = 0.25
+
+// validate checks the sampling block against its entry's kind.
+func (s *Sampling) validate(e Entry) error {
+	switch s.Method {
+	case SampleTilt:
+		if math.IsNaN(s.Factor) || math.IsInf(s.Factor, 0) || s.Factor < 1 {
+			return fmt.Errorf("spec: scenario %q sampling factor %v must be >= 1", e.Name, s.Factor)
+		}
+	case SampleAuto:
+		if s.Factor != 0 {
+			return fmt.Errorf("spec: scenario %q sampling method %q solves its own factor; drop the factor field", e.Name, s.Method)
+		}
+	default:
+		return fmt.Errorf("spec: scenario %q has unknown sampling method %q (want %q or %q)", e.Name, s.Method, SampleTilt, SampleAuto)
+	}
+	switch e.Kind {
+	case "memsim":
+	case "interleave":
+		if s.Method == SampleAuto {
+			return fmt.Errorf("spec: scenario %q: sampling method %q needs the analytic chain and supports kind \"memsim\" only", e.Name, s.Method)
+		}
+	default:
+		return fmt.Errorf("spec: scenario %q kind %q does not support importance sampling", e.Name, e.Kind)
+	}
+	return nil
+}
+
 // Stop mirrors campaign.EarlyStop in spec syntax.
 type Stop struct {
 	Counter      string  `json:"counter"`
@@ -177,9 +246,12 @@ type Expectation struct {
 	MaxFraction *float64 `json:"max_fraction,omitempty"`
 }
 
-// Check evaluates the expectation against a result.
+// Check evaluates the expectation against a result. Counters recorded
+// under importance sampling are checked on the unbiased weighted
+// estimate (the raw biased-measure fraction would be off by orders of
+// magnitude); unweighted counters see the plain fraction, unchanged.
 func (e Expectation) Check(cres *campaign.Result) error {
-	frac := cres.Fraction(e.Counter)
+	frac := cres.WeightedFraction(e.Counter)
 	if e.MinFraction != nil && frac < *e.MinFraction {
 		return fmt.Errorf("counter %q fraction %.6e below expected minimum %.6e (%d/%d trials)",
 			e.Counter, frac, *e.MinFraction, cres.Counter(e.Counter), cres.Trials)
@@ -223,6 +295,19 @@ func (f *File) Validate() error {
 	if len(f.Scenarios) == 0 {
 		return fmt.Errorf("spec: no scenarios")
 	}
+	if ad := f.Adaptive; ad != nil {
+		if ad.RoundTrials <= 0 {
+			return fmt.Errorf("spec: adaptive round_trials must be positive")
+		}
+		if ad.MaxRounds < 0 {
+			return fmt.Errorf("spec: adaptive max_rounds must be nonnegative")
+		}
+		for _, e := range f.Scenarios {
+			if e.Stop == nil {
+				return fmt.Errorf("spec: adaptive allocation requires a stop rule on every scenario; %q has none", e.Name)
+			}
+		}
+	}
 	seen := make(map[string]bool)
 	seenPath := make(map[string]string)
 	for i, e := range f.Scenarios {
@@ -248,6 +333,11 @@ func (f *File) Validate() error {
 		}
 		if e.Stop != nil && e.Stop.Counter == "" {
 			return fmt.Errorf("spec: scenario %q early stop needs a counter", e.Name)
+		}
+		if e.Sampling != nil {
+			if err := e.Sampling.validate(e); err != nil {
+				return err
+			}
 		}
 		for _, ex := range e.Expect {
 			if ex.Counter == "" {
@@ -573,11 +663,22 @@ func buildScenario(e Entry, f *File) (*Built, error) {
 		if err != nil {
 			return nil, fmt.Errorf("spec: scenario %q: %w", e.Name, err)
 		}
+		var checks []func(cres *campaign.Result) error
+		if e.Sampling != nil {
+			factor, gate, err := resolveMemsimTilt(e, cfg)
+			if err != nil {
+				return nil, err
+			}
+			cfg.TiltFactor = factor
+			if gate != nil {
+				checks = append(checks, gate)
+			}
+		}
 		scn, err := cfg.Scenario()
 		if err != nil {
 			return nil, fmt.Errorf("spec: scenario %q: %w", e.Name, err)
 		}
-		return &Built{Entry: e, Scenario: scn, Render: func(w io.Writer, cres *campaign.Result) error {
+		return &Built{Entry: e, Scenario: scn, checks: checks, Render: func(w io.Writer, cres *campaign.Result) error {
 			return renderMemsim(w, cfg, cres)
 		}}, nil
 
@@ -642,6 +743,11 @@ func buildScenario(e Entry, f *File) (*Built, error) {
 			return nil, err
 		}
 		cfg := p.PagesimConfig(f.Seed)
+		if e.Sampling != nil {
+			// validate() already restricted interleave to the explicit
+			// "tilt" method.
+			cfg.TiltFactor = e.Sampling.Factor
+		}
 		scn, err := pagesim.Scenario(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("spec: scenario %q: %w", e.Name, err)
@@ -788,7 +894,28 @@ func renderMemsim(w io.Writer, cfg memsim.Config, cres *campaign.Result) error {
 	clo, chi := memsim.WilsonInterval(res.CapabilityExceeded, res.Trials, 1.96)
 	fmt.Fprintf(w, "cap. exceeded:   %.4e  (95%% CI [%.4e, %.4e])  paper-BER %.4e\n",
 		res.CapabilityExceededFraction(), clo, chi, res.PaperBER())
+	if cfg.TiltFactor > 1 {
+		// The lines above count events in the biased measure; the
+		// weighted estimator below is the unbiased answer.
+		wrong := cres.Weights[memsim.CounterWrongOutput]
+		noOut := cres.Weights[memsim.CounterNoOutput]
+		fail := campaign.Moments{WSum: wrong.WSum + noOut.WSum, WSum2: wrong.WSum2 + noOut.WSum2}
+		fmt.Fprintf(w, "importance:      tilt factor %.6g (counts above are in the biased measure)\n", cfg.TiltFactor)
+		fmt.Fprintf(w, "  fail fraction: %s\n", weightedLine(fail, cres.Trials))
+		fmt.Fprintf(w, "  cap. exceeded: %s\n", weightedLine(cres.Weights[memsim.CounterCapabilityExceeded], cres.Trials))
+	}
 	return nil
+}
+
+// weightedLine formats one importance-sampled estimator: the weighted
+// estimate, its 95% relative error, and the effective sample size.
+func weightedLine(m campaign.Moments, trials int) string {
+	if m.WSum <= 0 {
+		return "0  (no weighted events)"
+	}
+	p := m.WSum / float64(trials)
+	se := campaign.WeightedStdErr(m, trials)
+	return fmt.Sprintf("%.4e ±%.1f%% RE  (ESS %.0f of %d trials)", p, 100*1.96*se/p, m.ESS(), trials)
 }
 
 // renderInterleave summarizes a page-level burst/SEU/stuck-column
@@ -837,6 +964,11 @@ func renderInterleave(w io.Writer, cfg pagesim.Config, cres *campaign.Result) er
 		res.PageCorrect, res.PageLoss, res.SilentLoss, res.CorrectedSymbols, res.FailedStripes)
 	lo, hi := campaign.Wilson(int64(res.PageLoss), int64(res.Trials), 1.96)
 	fmt.Fprintf(w, "loss fraction:   %.4e  (95%% CI [%.4e, %.4e])\n", res.LossFraction(), lo, hi)
+	if cfg.TiltFactor > 1 {
+		fmt.Fprintf(w, "importance:      tilt factor %.6g (counts above are in the biased measure)\n", cfg.TiltFactor)
+		fmt.Fprintf(w, "  loss fraction: %s\n", weightedLine(cres.Weights[pagesim.CounterPageLoss], cres.Trials))
+		fmt.Fprintf(w, "  silent loss:   %s\n", weightedLine(cres.Weights[pagesim.CounterSilentLoss], cres.Trials))
+	}
 	if res.SingleBurstTrials > 0 {
 		fmt.Fprintf(w, "single-burst:    %d trials, %d losses (guarantee: %d-symbol bursts always correct)\n",
 			res.SingleBurstTrials, res.SingleBurstLosses, page.CorrectableBurst())

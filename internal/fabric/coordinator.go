@@ -74,6 +74,7 @@ type task struct {
 	prefix        int
 	slicePtr      int
 	prefixSuccess int64
+	prefixW       campaign.Moments // weighted plans: folded stop-counter moments
 	prefixTrials  int
 	stopped       bool
 	stopShard     int
@@ -230,17 +231,34 @@ func (c *Coordinator) advanceTask(t *task) {
 		}
 		p := t.arrived[s.plan.Part.Index]
 		stop := t.cfg.Stop
+		weighted := s.plan.Weighted
 		var v int64
 		if stop != nil {
 			v, _ = p.ShardCounter(t.prefix, stop.Counter)
+			if weighted {
+				m, _ := p.ShardWeights(t.prefix, stop.Counter)
+				t.prefixW.WSum += m.WSum
+				t.prefixW.WSum2 += m.WSum2
+			}
 		}
 		t.prefixSuccess += v
 		_, t.prefixTrials = s.plan.ShardSpan(t.prefix)
 		t.prefix++
-		// A counter that increments more than once per trial is not a
-		// binomial proportion; leave the stop to Merge's loud error.
-		if stop != nil && t.prefixSuccess <= int64(t.prefixTrials) &&
-			stop.Satisfied(t.prefixSuccess, t.prefixTrials) {
+		// Weighted plans stop on the relative-error rule over the folded
+		// moments, exactly as Merge re-decides it; unweighted plans use
+		// Wilson. A counter that increments more than once per trial is
+		// not a binomial proportion; leave that stop to Merge's loud
+		// error.
+		fired := false
+		if stop != nil {
+			if weighted {
+				fired = stop.SatisfiedWeighted(t.prefixW, t.prefixTrials)
+			} else {
+				fired = t.prefixSuccess <= int64(t.prefixTrials) &&
+					stop.Satisfied(t.prefixSuccess, t.prefixTrials)
+			}
+		}
+		if fired {
 			t.stopped = true
 			t.stopShard = t.prefix - 1
 			for _, other := range t.slices {

@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -216,11 +217,20 @@ func runLease(client *http.Client, cfg ExecutorConfig, f *spec.File, byName map[
 		time.Sleep(cfg.UploadDelay)
 	}
 
+	// Uploads travel gzip-compressed: the JSONL shard records are
+	// highly repetitive (upwards of 10:1 on sample-heavy slices), the
+	// coordinator stores the bytes verbatim, and OpenPartial sniffs the
+	// gzip magic — so the compression is transparent end to end and a
+	// mixed fleet of old and new executors still merges.
 	var buf bytes.Buffer
-	if _, err := partial.WriteTo(&buf); err != nil {
+	gz := gzip.NewWriter(&buf)
+	if _, err := partial.WriteTo(gz); err != nil {
 		return err
 	}
-	resp, err := client.Post(cfg.URL+pathUpload+"?lease="+lease.ID, "application/jsonl", &buf)
+	if err := gz.Close(); err != nil {
+		return err
+	}
+	resp, err := client.Post(cfg.URL+pathUpload+"?lease="+lease.ID, "application/gzip", &buf)
 	if err != nil {
 		return err
 	}

@@ -63,11 +63,30 @@ type Config struct {
 	// would buy (an ablation bench at the repository root).
 	CrossRepair bool
 
+	// TiltFactor biases the fault arrival process for importance
+	// sampling: all fault rates (SEU and permanent, across modules)
+	// are jointly multiplied by the factor, and every trial carries
+	// the exact exponential-tilt likelihood ratio
+	//
+	//	L = θ^-k · exp((θ-1)·R0·H)
+	//
+	// (k = realized fault arrivals, R0 = untilted total rate, H =
+	// horizon) into the campaign engine's weighted counters, so the
+	// weighted estimator stays unbiased while rare failures become
+	// common in the biased measure. Scrub scheduling and fault-type
+	// selection are untouched — only the arrival clock is tilted.
+	// 0 or 1 disables tilting (and the trial stream is bit-identical
+	// to an untilted run); values > 1 enable it.
+	TiltFactor float64
+
 	Horizon float64 // storage time in hours; the word is read once at the end
 	Trials  int
 	Seed    int64
 	Workers int // 0 = GOMAXPROCS
 }
+
+// weighted reports whether trials carry importance-sampling weights.
+func (c Config) weighted() bool { return c.TiltFactor > 1 }
 
 // Validate checks the configuration.
 func (c Config) Validate() error {
@@ -80,6 +99,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("memsim: negative scrub period")
 	case c.DetectionLatency < 0:
 		return fmt.Errorf("memsim: negative detection latency")
+	case math.IsNaN(c.TiltFactor) || math.IsInf(c.TiltFactor, 0) || c.TiltFactor < 0:
+		return fmt.Errorf("memsim: invalid tilt factor %v", c.TiltFactor)
+	case c.TiltFactor != 0 && c.TiltFactor < 1:
+		return fmt.Errorf("memsim: tilt factor %v must be >= 1 (or 0/1 to disable)", c.TiltFactor)
 	case c.Horizon <= 0 || math.IsNaN(c.Horizon) || math.IsInf(c.Horizon, 0):
 		return fmt.Errorf("memsim: invalid horizon %v", c.Horizon)
 	case c.Trials <= 0:
@@ -286,6 +309,12 @@ type worker struct {
 	shared     []int     // both-erased positions
 	e1, e2     []int     // erasure position lists
 	capSet     []bool    // exceedsCapability scratch
+
+	// weighted/lr carry the current trial's importance-sampling state
+	// from the event loop to the read classification: lr is the
+	// exponential-tilt likelihood ratio of the realized fault arrivals.
+	weighted bool
+	lr       float64
 }
 
 func newWorker(cfg Config) *worker {
@@ -347,13 +376,24 @@ func (c Config) Scenario() (campaign.Scenario, error) {
 // campaign are rejected rather than silently merged.
 func (s scenario) Name() string {
 	c := s.cfg
-	return fmt.Sprintf("memsim:%v:duplex=%t:lb=%g:ls=%g:scrub=%g:exp=%t:lat=%g:xrep=%t:h=%g:seed=%d",
+	name := fmt.Sprintf("memsim:%v:duplex=%t:lb=%g:ls=%g:scrub=%g:exp=%t:lat=%g:xrep=%t:h=%g:seed=%d",
 		c.Code, c.Duplex, c.LambdaBit, c.LambdaSymbol, c.ScrubPeriod,
 		c.ExponentialScrub, c.DetectionLatency, c.CrossRepair, c.Horizon, c.Seed)
+	if c.weighted() {
+		// The suffix keeps tilted and untilted artifacts from merging:
+		// their trial streams sample different measures.
+		name += fmt.Sprintf(":tilt=%g", c.TiltFactor)
+	}
+	return name
 }
 
 // Trials implements campaign.Scenario.
 func (s scenario) Trials() int { return s.cfg.Trials }
+
+// Weighted implements campaign.WeightedScenario: a tilted campaign
+// records per-trial likelihood ratios and its artifacts carry weight
+// moments.
+func (s scenario) Weighted() bool { return s.cfg.weighted() }
 
 // NewWorker implements campaign.Scenario.
 func (s scenario) NewWorker() (campaign.Worker, error) { return newWorker(s.cfg), nil }
@@ -437,17 +477,25 @@ func (ws *worker) runTrial(trial int, acc *campaign.Acc) {
 		mo.reset(ws.truth)
 	}
 
-	// Per-module stochastic rates.
+	// Per-module stochastic rates. Importance sampling tilts only the
+	// arrival clock (all fault rates jointly, so module and fault-type
+	// selection keep their untilted distribution); the likelihood
+	// ratio of the realized arrival count corrects the estimator.
 	seuRate := float64(n*m) * cfg.LambdaBit
 	permRate := float64(n) * cfg.LambdaSymbol
 	totalRate := float64(len(ws.mods)) * (seuRate + permRate)
+	tilt := cfg.TiltFactor
+	if tilt == 0 {
+		tilt = 1
+	}
+	arrivals := 0
 
 	t := 0.0
 	nextScrub := ws.sched.Next(0)
 	for {
 		tEvent := math.Inf(1)
 		if totalRate > 0 {
-			tEvent = t + rng.ExpFloat64()/totalRate
+			tEvent = t + rng.ExpFloat64()/(totalRate*tilt)
 		}
 		if nextScrub < tEvent && nextScrub < cfg.Horizon {
 			t = nextScrub
@@ -459,6 +507,7 @@ func (ws *worker) runTrial(trial int, acc *campaign.Acc) {
 			break
 		}
 		t = tEvent
+		arrivals++
 		// Pick module, then fault type, then location.
 		mo := ws.mods[rng.Intn(len(ws.mods))]
 		if rng.Float64()*(seuRate+permRate) < seuRate {
@@ -469,7 +518,27 @@ func (ws *worker) runTrial(trial int, acc *campaign.Acc) {
 			acc.Add(CounterPermanentFaults, 1)
 		}
 	}
+	ws.weighted = ws.cfg.weighted()
+	ws.lr = 1
+	if ws.weighted {
+		// Exponential tilt of a Poisson process over [0, H]: the clock
+		// redraws at scrub instants telescope, so only the arrival
+		// count and the total exposure enter the density ratio.
+		ws.lr = math.Exp((tilt-1)*totalRate*cfg.Horizon - float64(arrivals)*math.Log(tilt))
+	}
 	ws.finalRead(cfg.Horizon, acc)
+}
+
+// classify records a per-trial outcome counter: with importance
+// sampling active it carries the trial's likelihood ratio into the
+// weighted moments, otherwise it is a plain unit count (and the
+// artifact bytes stay bit-identical to the pre-weighted engine).
+func (ws *worker) classify(acc *campaign.Acc, counter string) {
+	if ws.weighted {
+		acc.AddWeighted(counter, ws.lr)
+	} else {
+		acc.Add(counter, 1)
+	}
 }
 
 // maskPair performs the arbiter's erasure recovery on the two stored
@@ -566,18 +635,18 @@ func (ws *worker) finalRead(t float64, acc *campaign.Acc) {
 		mo := ws.mods[0]
 		erasures := mo.erasuresInto(ws.e1, t)
 		if ws.exceedsCapability(mo.stored, erasures) {
-			acc.Add(CounterCapabilityExceeded, 1)
+			ws.classify(acc, CounterCapabilityExceeded)
 		}
 		copy(ws.w1, mo.stored)
 		ws.elists[0] = erasures
 		data := ws.w1[:code.K()] // corrected in place on success
 		switch {
 		case ws.decodePair(1).Words[0].Err != nil:
-			acc.Add(CounterNoOutput, 1)
+			ws.classify(acc, CounterNoOutput)
 		case equalWords(data, ws.truth[:code.K()]):
-			acc.Add(CounterCorrect, 1)
+			ws.classify(acc, CounterCorrect)
 		default:
-			acc.Add(CounterWrongOutput, 1)
+			ws.classify(acc, CounterWrongOutput)
 			acc.Add(CounterDataBitErrors, bitErrors(data, ws.truth[:code.K()]))
 		}
 		return
@@ -585,7 +654,7 @@ func (ws *worker) finalRead(t float64, acc *campaign.Acc) {
 
 	w1, w2, shared := ws.maskPair(t)
 	if ws.exceedsCapability(w1, shared) || ws.exceedsCapability(w2, shared) {
-		acc.Add(CounterCapabilityExceeded, 1)
+		ws.classify(acc, CounterCapabilityExceeded)
 	}
 	e1 := ws.modBuf[0].erasuresInto(ws.e1, t)
 	e2 := ws.modBuf[1].erasuresInto(ws.e2, t)
@@ -593,14 +662,14 @@ func (ws *worker) finalRead(t float64, acc *campaign.Acc) {
 	if err != nil {
 		panic(fmt.Sprintf("memsim: arbiter: %v", err)) // inputs are structurally valid
 	}
-	acc.Add(verdictKeys[res.Verdict], 1)
+	ws.classify(acc, verdictKeys[res.Verdict])
 	switch {
 	case !res.OK:
-		acc.Add(CounterNoOutput, 1)
+		ws.classify(acc, CounterNoOutput)
 	case equalWords(res.Data, ws.truth[:code.K()]):
-		acc.Add(CounterCorrect, 1)
+		ws.classify(acc, CounterCorrect)
 	default:
-		acc.Add(CounterWrongOutput, 1)
+		ws.classify(acc, CounterWrongOutput)
 		acc.Add(CounterDataBitErrors, bitErrors(res.Data, ws.truth[:code.K()]))
 	}
 }

@@ -134,11 +134,24 @@ type Config struct {
 	ScrubPeriod      float64
 	ExponentialScrub bool
 
+	// TiltFactor biases the fault arrival process for importance
+	// sampling, exactly as memsim.Config.TiltFactor: all fault rates
+	// (SEU, burst and stuck-column) are jointly multiplied by the
+	// factor — only the arrival clock changes, never the event-type
+	// split — and each trial's page classification carries the
+	// exponential-tilt likelihood ratio θ^-k·exp((θ-1)·R0·H) into the
+	// engine's weighted counters. 0 or 1 disables tilting with a
+	// bit-identical trial stream; values > 1 enable it.
+	TiltFactor float64
+
 	Horizon float64 // storage time in hours; the page is read once at the end
 	Trials  int
 	Seed    int64
 	Workers int // 0 = GOMAXPROCS
 }
+
+// weighted reports whether trials carry importance-sampling weights.
+func (c Config) weighted() bool { return c.TiltFactor > 1 }
 
 // Detection policy names accepted by Config.Detection.
 const (
@@ -194,6 +207,10 @@ func (c Config) Validate() error {
 		// no scrubbing already expresses that; rejecting non-finite
 		// keeps the location instants finite arithmetic.
 		return fmt.Errorf("pagesim: invalid detection latency %v", c.DetectionLatency)
+	case math.IsNaN(c.TiltFactor) || math.IsInf(c.TiltFactor, 0) || c.TiltFactor < 0:
+		return fmt.Errorf("pagesim: invalid tilt factor %v", c.TiltFactor)
+	case c.TiltFactor != 0 && c.TiltFactor < 1:
+		return fmt.Errorf("pagesim: tilt factor %v must be >= 1 (or 0/1 to disable)", c.TiltFactor)
 	}
 	if _, err := c.policy(); err != nil {
 		return err
@@ -379,11 +396,21 @@ func (s *scenario) Name() string {
 	case detLatency:
 		name += fmt.Sprintf(":det=latency/%g", c.DetectionLatency)
 	}
+	if c.weighted() {
+		// Tilted and untilted artifacts must never merge: their trial
+		// streams sample different measures.
+		name += fmt.Sprintf(":tilt=%g", c.TiltFactor)
+	}
 	return name
 }
 
 // Trials implements campaign.Scenario.
 func (s *scenario) Trials() int { return s.cfg.Trials }
+
+// Weighted implements campaign.WeightedScenario: a tilted campaign
+// records per-trial likelihood ratios and its artifacts carry weight
+// moments.
+func (s *scenario) Weighted() bool { return s.cfg.weighted() }
 
 // NewWorker implements campaign.Scenario.
 func (s *scenario) NewWorker() (campaign.Worker, error) {
@@ -482,11 +509,18 @@ func (w *worker) Trial(trial int, acc *campaign.Acc) error {
 	}
 	w.unlocated, w.trialLocated, w.unlocReads = 0, 0, 0
 
-	// Per-page event rates (per hour).
+	// Per-page event rates (per hour). Importance sampling tilts only
+	// the arrival clock — all rates jointly — so the event-type split
+	// below keeps its untilted distribution; the likelihood ratio of
+	// the realized arrival count corrects the estimator.
 	seuRate := cfg.LambdaBit * float64(storedBits)
 	burstRate := cfg.BurstPerKilobit * float64(storedBits) / 1000
 	colRate := cfg.LambdaColumn * float64(storedSymbols)
 	totalRate := seuRate + burstRate + colRate
+	tilt := cfg.TiltFactor
+	if tilt == 0 {
+		tilt = 1
+	}
 
 	seus, bursts, cols := 0, 0, 0
 	lastBurstLen := 0
@@ -495,7 +529,7 @@ func (w *worker) Trial(trial int, acc *campaign.Acc) error {
 	for {
 		tEvent := math.Inf(1)
 		if totalRate > 0 {
-			tEvent = t + rng.ExpFloat64()/totalRate
+			tEvent = t + rng.ExpFloat64()/(totalRate*tilt)
 		}
 		if nextScrub < tEvent && nextScrub < cfg.Horizon {
 			t = nextScrub
@@ -547,6 +581,23 @@ func (w *worker) Trial(trial int, acc *campaign.Acc) error {
 	acc.Add(CounterBursts, int64(bursts))
 	acc.Add(CounterStuckColumns, int64(cols))
 
+	// Per-trial likelihood ratio of the tilted arrival process: the
+	// clock redraws at scrub instants telescope, so only the arrival
+	// count (every event type) and total exposure enter the density
+	// ratio. classify records outcome counters weighted by it.
+	weighted := cfg.weighted()
+	lr := 1.0
+	if weighted {
+		lr = math.Exp((tilt-1)*totalRate*cfg.Horizon - float64(seus+bursts+cols)*math.Log(tilt))
+	}
+	classify := func(counter string) {
+		if weighted {
+			acc.AddWeighted(counter, lr)
+		} else {
+			acc.Add(counter, 1)
+		}
+	}
+
 	// Final read at the horizon.
 	if w.policy == detLatency {
 		w.locateByLatency(cfg.Horizon, trial, acc)
@@ -577,15 +628,15 @@ func (w *worker) Trial(trial int, acc *campaign.Acc) error {
 	}
 	switch {
 	case lost:
-		acc.Add(CounterPageLoss, 1)
+		classify(CounterPageLoss)
 		if silent {
-			acc.Add(CounterSilentLoss, 1)
+			classify(CounterSilentLoss)
 		}
 		if singleBurst {
 			acc.Add(CounterSingleBurstLosses, 1)
 		}
 	default:
-		acc.Add(CounterPageCorrect, 1)
+		classify(CounterPageCorrect)
 	}
 	if w.policy != detImmediate {
 		// Reported unconditionally (including zeros) so every
