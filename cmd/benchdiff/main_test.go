@@ -70,7 +70,7 @@ func TestCompareGates(t *testing.T) {
 		// BenchmarkD missing: skipped, not failed.
 	}
 	var buf bytes.Buffer
-	failures, compared := compare(base, current, 0.25, false, &buf)
+	failures, compared := compare(base, current, 0.25, false, 0, &buf)
 	if compared != 3 {
 		t.Errorf("compared %d, want 3", compared)
 	}
@@ -92,14 +92,14 @@ func TestCompareGates(t *testing.T) {
 	// criterion for the CI bench job.
 	buf.Reset()
 	doubled := map[string]Entry{"BenchmarkA": {NsPerOp: 200, AllocsPerOp: 0}}
-	failures, _ = compare(map[string]Entry{"BenchmarkA": {NsPerOp: 100}}, doubled, 0.25, false, &buf)
+	failures, _ = compare(map[string]Entry{"BenchmarkA": {NsPerOp: 100}}, doubled, 0.25, false, 0, &buf)
 	if failures != 1 {
 		t.Errorf("2x slowdown not caught:\n%s", buf.String())
 	}
 
 	// allocs-only mode ignores the latency gate.
 	buf.Reset()
-	failures, _ = compare(map[string]Entry{"BenchmarkA": {NsPerOp: 100}}, doubled, 0.25, true, &buf)
+	failures, _ = compare(map[string]Entry{"BenchmarkA": {NsPerOp: 100}}, doubled, 0.25, true, 0, &buf)
 	if failures != 0 {
 		t.Errorf("allocs-only mode still gated latency:\n%s", buf.String())
 	}
@@ -115,7 +115,7 @@ func TestCompareReportsNewBenchmarks(t *testing.T) {
 		"BenchmarkAdded": {NsPerOp: 42, AllocsPerOp: 3},
 	}
 	var buf bytes.Buffer
-	failures, compared := compare(base, current, 0.25, false, &buf)
+	failures, compared := compare(base, current, 0.25, false, 0, &buf)
 	if failures != 0 || compared != 1 {
 		t.Errorf("failures=%d compared=%d, want 0/1:\n%s", failures, compared, buf.String())
 	}
@@ -134,7 +134,7 @@ func TestCompareThroughputReportOnly(t *testing.T) {
 	base := map[string]Entry{"BenchmarkT": {NsPerOp: 100, MBPerS: 500}}
 	current := map[string]Entry{"BenchmarkT": {NsPerOp: 101, MBPerS: 200}}
 	var buf bytes.Buffer
-	failures, compared := compare(base, current, 0.25, false, &buf)
+	failures, compared := compare(base, current, 0.25, false, 0, &buf)
 	if failures != 0 || compared != 1 {
 		t.Errorf("failures=%d compared=%d, want 0/1:\n%s", failures, compared, buf.String())
 	}
@@ -144,7 +144,7 @@ func TestCompareThroughputReportOnly(t *testing.T) {
 
 	// NEW lines carry the throughput too.
 	buf.Reset()
-	compare(map[string]Entry{}, map[string]Entry{"BenchmarkN": {NsPerOp: 10, MBPerS: 123.4}}, 0.25, false, &buf)
+	compare(map[string]Entry{}, map[string]Entry{"BenchmarkN": {NsPerOp: 10, MBPerS: 123.4}}, 0.25, false, 0, &buf)
 	if !strings.Contains(buf.String(), "MB/s 123.4") {
 		t.Errorf("NEW line missing throughput:\n%s", buf.String())
 	}
@@ -170,7 +170,7 @@ func TestEffectiveTrialsReportOnly(t *testing.T) {
 	base := map[string]Entry{"BenchmarkRare": {NsPerOp: 5e7, ETrialsPerS: 3174}}
 	current := map[string]Entry{"BenchmarkRare": {NsPerOp: 5.1e7, ETrialsPerS: 900}}
 	var buf bytes.Buffer
-	failures, compared := compare(base, current, 0.25, false, &buf)
+	failures, compared := compare(base, current, 0.25, false, 0, &buf)
 	if failures != 0 || compared != 1 {
 		t.Errorf("failures=%d compared=%d, want 0/1 (etrials/s must not gate):\n%s",
 			failures, compared, buf.String())
@@ -182,14 +182,72 @@ func TestEffectiveTrialsReportOnly(t *testing.T) {
 	// Entries without the metric render no empty column.
 	buf.Reset()
 	compare(map[string]Entry{"BenchmarkP": {NsPerOp: 100}},
-		map[string]Entry{"BenchmarkP": {NsPerOp: 100}}, 0.25, false, &buf)
+		map[string]Entry{"BenchmarkP": {NsPerOp: 100}}, 0.25, false, 0, &buf)
 	if strings.Contains(buf.String(), "etrials") {
 		t.Errorf("etrials column invented for a plain benchmark:\n%s", buf.String())
 	}
 
 	buf.Reset()
-	compare(map[string]Entry{}, map[string]Entry{"BenchmarkN": {NsPerOp: 10, ETrialsPerS: 55.5}}, 0.25, false, &buf)
+	compare(map[string]Entry{}, map[string]Entry{"BenchmarkN": {NsPerOp: 10, ETrialsPerS: 55.5}}, 0.25, false, 0, &buf)
 	if !strings.Contains(buf.String(), "etrials/s 55.5") {
 		t.Errorf("NEW line missing etrials/s:\n%s", buf.String())
+	}
+}
+
+// TestCompareGateMBPS: the opt-in -gate-mbps throughput gate fails a
+// drop beyond the percentage, tolerates one inside it, ignores entries
+// without MB/s on either side, and composes with the fold direction
+// (repeats fold to the MAX MB/s, pairing with the minimum ns/op, so a
+// noisy slow repeat cannot trip the gate).
+func TestCompareGateMBPS(t *testing.T) {
+	base := map[string]Entry{
+		"BenchmarkFast":  {NsPerOp: 100, MBPerS: 500},
+		"BenchmarkNear":  {NsPerOp: 100, MBPerS: 500},
+		"BenchmarkPlain": {NsPerOp: 100},              // no MB/s in baseline
+		"BenchmarkGone":  {NsPerOp: 100, MBPerS: 500}, // MB/s absent from new output
+	}
+	current := map[string]Entry{
+		"BenchmarkFast":  {NsPerOp: 100, MBPerS: 200}, // -60% > 25%: gated
+		"BenchmarkNear":  {NsPerOp: 100, MBPerS: 400}, // -20% < 25%: ok
+		"BenchmarkPlain": {NsPerOp: 100, MBPerS: 50},
+		"BenchmarkGone":  {NsPerOp: 100},
+	}
+	var buf bytes.Buffer
+	failures, compared := compare(base, current, 0.25, false, 25, &buf)
+	if compared != 4 {
+		t.Errorf("compared %d, want 4", compared)
+	}
+	if failures != 1 {
+		t.Errorf("failures = %d, want 1 (only the -60%% drop):\n%s", failures, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "FAIL BenchmarkFast") || !strings.Contains(out, "MB/s 500.0 -> 200.0 (-60% > 25%)") {
+		t.Errorf("throughput regression not reported:\n%s", out)
+	}
+	for _, name := range []string{"BenchmarkNear", "BenchmarkPlain", "BenchmarkGone"} {
+		if !strings.Contains(out, "ok   "+name) {
+			t.Errorf("%s should pass the gate:\n%s", name, out)
+		}
+	}
+
+	// Default (gate off) keeps the historical report-only behavior on
+	// the same drop.
+	buf.Reset()
+	failures, _ = compare(base, current, 0.25, false, 0, &buf)
+	if failures != 0 {
+		t.Errorf("gate disabled but failures = %d:\n%s", failures, buf.String())
+	}
+
+	// Fold direction: a -count repeat pair folds to max MB/s, so the
+	// gate sees 480 (-4%), not the noisy 200 repeat.
+	text := "BenchmarkFast-8 100 100 ns/op 480.0 MB/s\nBenchmarkFast-8 100 250 ns/op 200.0 MB/s\n"
+	folded, err := parseBench(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	failures, _ = compare(map[string]Entry{"BenchmarkFast": {NsPerOp: 100, MBPerS: 500}}, folded, 0.25, false, 25, &buf)
+	if failures != 0 {
+		t.Errorf("max-fold MB/s should pass the gate:\n%s", buf.String())
 	}
 }

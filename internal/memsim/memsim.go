@@ -302,13 +302,26 @@ type worker struct {
 	modBuf [2]module
 	mods   []*module
 
-	pair       []gf.Elem // two-word decode arena, stride n
+	pair       []gf.Elem // scrub-pass arena (up to two words, stride n)
 	w1, w2     []gf.Elem // the arena's words (masked duplex words)
-	elists     [2][]int  // per-arena-word erasure lists for DecodeAll
+	elists     [2][]int  // per-arena-word erasure lists for the stream
 	set1, set2 []bool    // per-module erasure bitsets
-	shared     []int     // both-erased positions
-	e1, e2     []int     // erasure position lists
-	capSet     []bool    // exceedsCapability scratch
+
+	// Scrub-pass stream state: the arena decodes through
+	// rs.DecodeStream with these closures built once at construction
+	// (capturing ws), so the steady state stays allocation-free. A pass
+	// stages arenaCount words in the pair arena, fill hands the arena
+	// over as the stream's single chunk, and emit captures the chunk
+	// result (valid, like before, until the next decode on the same
+	// workspace).
+	arenaCount int
+	arenaDone  bool
+	arenaRes   *rs.BatchResult
+	arenaFill  func() (rs.Batch, [][]int, error)
+	arenaEmit  func(base int, b rs.Batch, res *rs.BatchResult) error
+	shared     []int  // both-erased positions
+	e1, e2     []int  // erasure position lists
+	capSet     []bool // exceedsCapability scratch
 
 	// weighted/lr carry the current trial's importance-sampling state
 	// from the event loop to the read classification: lr is the
@@ -336,6 +349,18 @@ func newWorker(cfg Config) *worker {
 		e1:     make([]int, 0, n),
 		e2:     make([]int, 0, n),
 		capSet: make([]bool, n),
+	}
+	w.arenaFill = func() (rs.Batch, [][]int, error) {
+		if w.arenaDone {
+			return rs.Batch{}, nil, nil
+		}
+		w.arenaDone = true
+		return rs.Batch{Words: w.pair[:w.arenaCount*n], Stride: n, Count: w.arenaCount},
+			w.elists[:w.arenaCount], nil
+	}
+	w.arenaEmit = func(base int, b rs.Batch, res *rs.BatchResult) error {
+		w.arenaRes = res
+		return nil
 	}
 	w.modBuf[0].init(n)
 	w.modBuf[1].init(n)
@@ -567,17 +592,18 @@ func (ws *worker) maskPair(t float64) (w1, w2 []gf.Elem, shared []int) {
 	return w1, w2, shared
 }
 
-// decodePair batch-decodes the first count words of the pair arena
-// with the erasure lists staged in ws.elists. A failed word stays
-// as received in the arena; a successful one is corrected in place.
-func (ws *worker) decodePair(count int) *rs.BatchResult {
-	n := len(ws.truth)
-	bres, err := ws.batch.DecodeAll(
-		rs.Batch{Words: ws.pair[:count*n], Stride: n, Count: count}, ws.elists[:count])
-	if err != nil {
-		panic(fmt.Sprintf("memsim: batch decode: %v", err)) // arena shape is fixed
+// decodeArena streams the first count words of the scrub-pass arena
+// through rs.DecodeStream with the erasure lists staged in ws.elists
+// (one chunk per pass; fill/emit are the preallocated closures on the
+// worker). A failed word stays as received in the arena; a successful
+// one is corrected in place.
+func (ws *worker) decodeArena(count int) *rs.BatchResult {
+	ws.arenaCount = count
+	ws.arenaDone = false
+	if _, err := ws.batch.DecodeStream(ws.arenaFill, ws.arenaEmit); err != nil {
+		panic(fmt.Sprintf("memsim: scrub-arena decode: %v", err)) // arena shape is fixed
 	}
-	return bres
+	return ws.arenaRes
 }
 
 // doScrub reads, corrects and rewrites the stored word(s) through the
@@ -590,7 +616,7 @@ func (ws *worker) doScrub(t float64, acc *campaign.Acc) {
 		mo := ws.mods[0]
 		copy(ws.w1, mo.stored)
 		ws.elists[0] = mo.erasuresInto(ws.e1, t)
-		if ws.decodePair(1).Words[0].Err != nil {
+		if ws.decodeArena(1).Words[0].Err != nil {
 			return
 		}
 		mo.write(ws.w1)
@@ -601,7 +627,7 @@ func (ws *worker) doScrub(t float64, acc *campaign.Acc) {
 	}
 	w1, w2, shared := ws.maskPair(t)
 	ws.elists[0], ws.elists[1] = shared, shared
-	bres := ws.decodePair(2)
+	bres := ws.decodeArena(2)
 	err1, err2 := bres.Words[0].Err, bres.Words[1].Err
 	rewrite := func(mo *module, codeword []gf.Elem) {
 		mo.write(codeword)
@@ -641,7 +667,7 @@ func (ws *worker) finalRead(t float64, acc *campaign.Acc) {
 		ws.elists[0] = erasures
 		data := ws.w1[:code.K()] // corrected in place on success
 		switch {
-		case ws.decodePair(1).Words[0].Err != nil:
+		case ws.decodeArena(1).Words[0].Err != nil:
 			ws.classify(acc, CounterNoOutput)
 		case equalWords(data, ws.truth[:code.K()]):
 			ws.classify(acc, CounterCorrect)

@@ -441,11 +441,18 @@ type worker struct {
 	stored []gf.Elem // current stored page
 	reenc  []gf.Elem // re-encoded page for scrub rewrites
 
-	stuck    []bool    // whole-symbol stuck-at flags (physical)
-	located  []bool    // stuck columns known to the controller
-	strikeT  []float64 // strike instant per stuck column (hours)
-	erasures []int     // located stuck columns for the decoder
-	failed   []bool    // per-stripe failed-decode scratch for scrub rewrites
+	stuck   []bool    // whole-symbol stuck-at flags (physical)
+	located []bool    // stuck columns known to the controller
+	strikeT []float64 // strike instant per stuck column (hours)
+	// erasures is the located-column list handed to every decode of the
+	// trial. It is rebuilt (in column order) only when a location event
+	// dirties it, so between strikes each scrub pass reuses the same
+	// list — contents and backing array — and the codec's erasure-split
+	// memo plus the rs erasure-set cache resolve the whole page without
+	// rebuilding locator state.
+	erasures []int
+	ersDirty bool   // erasures no longer reflects located
+	failed   []bool // per-stripe failed-decode scratch for scrub rewrites
 	res      interleave.DecodeResult
 
 	// Per-trial location bookkeeping (reset by Trial).
@@ -507,6 +514,8 @@ func (w *worker) Trial(trial int, acc *campaign.Acc) error {
 		w.stuck[i] = false
 		w.located[i] = false
 	}
+	w.erasures = w.erasures[:0]
+	w.ersDirty = false
 	w.unlocated, w.trialLocated, w.unlocReads = 0, 0, 0
 
 	// Per-page event rates (per hour). Importance sampling tilts only
@@ -568,6 +577,7 @@ func (w *worker) Trial(trial int, acc *campaign.Acc) error {
 				w.strikeT[s] = t
 				if w.policy == detImmediate {
 					w.located[s] = true
+					w.ersDirty = true
 				} else {
 					w.unlocated++
 				}
@@ -656,6 +666,7 @@ func (w *worker) Trial(trial int, acc *campaign.Acc) error {
 // instead of a strike+L-strike float roundoff.
 func (w *worker) locate(s int, delay float64, trial int, acc *campaign.Acc) {
 	w.located[s] = true
+	w.ersDirty = true
 	w.unlocated--
 	w.trialLocated++
 	acc.Sample(trial, SeriesTimeToLocation, w.strikeT[s], delay)
@@ -700,13 +711,19 @@ func (w *worker) flipBit(bit int) {
 // w.res. Stuck columns the controller has not located yet are plain
 // errors: they consume twice the correction budget and can
 // miscorrect, which is exactly the located/unlocated asymmetry the
-// detection policies model.
+// detection policies model. The erasure list is rebuilt (in column
+// order, so its contents are exactly what the per-decode rebuild
+// produced) only when a location event has dirtied it; the common
+// scrub pass between strikes reuses the previous list unchanged.
 func (w *worker) decode() error {
-	w.erasures = w.erasures[:0]
-	for s, loc := range w.located {
-		if loc {
-			w.erasures = append(w.erasures, s)
+	if w.ersDirty {
+		w.erasures = w.erasures[:0]
+		for s, loc := range w.located {
+			if loc {
+				w.erasures = append(w.erasures, s)
+			}
 		}
+		w.ersDirty = false
 	}
 	if err := w.codec.DecodeTo(&w.res, w.stored, w.erasures); err != nil {
 		return fmt.Errorf("pagesim: decode: %w", err)

@@ -1,0 +1,389 @@
+package rs
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/gf"
+)
+
+// batchOutcome snapshots everything observable about one DecodeAll
+// call: the per-word results (copied out of the workspace), the
+// tallies, and the corrected arena bytes.
+type batchOutcome struct {
+	words    []WordResult
+	clean    int
+	corr     int
+	failed   int
+	arena    []gf.Elem
+	decodeOK bool
+}
+
+func runBatch(t *testing.T, bd *BatchDecoder, pristine []gf.Elem, stride, count int, erasures [][]int) batchOutcome {
+	t.Helper()
+	arena := append([]gf.Elem(nil), pristine...)
+	res, err := bd.DecodeAll(Batch{Words: arena, Stride: stride, Count: count}, erasures)
+	if err != nil {
+		t.Fatalf("DecodeAll: %v", err)
+	}
+	return batchOutcome{
+		words:    append([]WordResult(nil), res.Words...),
+		clean:    res.Clean,
+		corr:     res.Corrected,
+		failed:   res.Failed,
+		arena:    arena,
+		decodeOK: true,
+	}
+}
+
+// TestDecodeAllWorkersDeterministic is the parallel half of the
+// equivalence law: for randomized mixed arenas (clean, sparse errors,
+// erasures with shared and distinct lists, invalid symbols,
+// beyond-capability words), every worker count must produce
+// bit-identical arenas, identical per-word results (including error
+// values), and identical tallies — and repeated calls on the same
+// warm BatchDecoder must reproduce the cold-cache outcomes exactly.
+func TestDecodeAllWorkersDeterministic(t *testing.T) {
+	shapes := []struct{ n, k int }{{18, 16}, {36, 16}, {255, 223}}
+	workerCounts := []int{1, 4, 8}
+	for _, s := range shapes {
+		c := MustNew(f8, s.n, s.k)
+		rng := rand.New(rand.NewSource(int64(900 + s.n)))
+		for trial := 0; trial < 6; trial++ {
+			count := 1 + rng.Intn(32)
+			stride := s.n + rng.Intn(4)
+			b, erasures, _ := buildArena(t, rng, c, count, stride)
+			pristine := append([]gf.Elem(nil), b.Words...)
+
+			var ref batchOutcome
+			for wi, w := range workerCounts {
+				bd := c.NewBatchDecoder().SetWorkers(w)
+				if got := bd.Workers(); got != w {
+					t.Fatalf("Workers() = %d, want %d", got, w)
+				}
+				cold := runBatch(t, bd, pristine, stride, count, erasures)
+				warm := runBatch(t, bd, pristine, stride, count, erasures)
+				if wi == 0 {
+					ref = cold
+				}
+				for name, got := range map[string]batchOutcome{"cold": cold, "warm": warm} {
+					if !equalElems(got.arena, ref.arena) {
+						t.Fatalf("n=%d trial=%d workers=%d %s: arena differs from workers=1", s.n, trial, w, name)
+					}
+					if !reflect.DeepEqual(got.words, ref.words) {
+						t.Fatalf("n=%d trial=%d workers=%d %s: word results differ from workers=1\n got %+v\nwant %+v",
+							s.n, trial, w, name, got.words, ref.words)
+					}
+					if got.clean != ref.clean || got.corr != ref.corr || got.failed != ref.failed {
+						t.Fatalf("n=%d trial=%d workers=%d %s: tallies (%d,%d,%d) != (%d,%d,%d)",
+							s.n, trial, w, name, got.clean, got.corr, got.failed, ref.clean, ref.corr, ref.failed)
+					}
+				}
+			}
+
+			// Ground truth: the per-word Decoder.Decode loop over the
+			// pristine received words must match the reference outcome
+			// word for word — same classification, same corrections,
+			// failed words untouched.
+			dec := c.NewDecoder()
+			for w := 0; w < count; w++ {
+				word := pristine[w*stride : w*stride+s.n]
+				var ers []int
+				if erasures != nil {
+					ers = erasures[w]
+				}
+				got, err := dec.Decode(word, ers)
+				wr := ref.words[w]
+				if (err != nil) != (wr.Err != nil) {
+					t.Fatalf("n=%d trial=%d word %d: batch err %v, per-word err %v", s.n, trial, w, wr.Err, err)
+				}
+				arenaWord := ref.arena[w*stride : w*stride+s.n]
+				if err != nil {
+					if err.Error() != wr.Err.Error() {
+						t.Fatalf("n=%d trial=%d word %d: batch err %q, per-word err %q", s.n, trial, w, wr.Err, err)
+					}
+					if errors.Is(err, ErrUncorrectable) != errors.Is(wr.Err, ErrUncorrectable) {
+						t.Fatalf("n=%d trial=%d word %d: classification differs: batch %v, per-word %v", s.n, trial, w, wr.Err, err)
+					}
+					if !equalElems(arenaWord, word) {
+						t.Fatalf("n=%d trial=%d word %d: failed word modified in arena", s.n, trial, w)
+					}
+					continue
+				}
+				if !equalElems(arenaWord, got.Codeword) {
+					t.Fatalf("n=%d trial=%d word %d: batch corrected word differs from Decoder.Decode", s.n, trial, w)
+				}
+				if wr.Corrections != got.Corrections {
+					t.Fatalf("n=%d trial=%d word %d: batch corrections %d, per-word %d", s.n, trial, w, wr.Corrections, got.Corrections)
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeStreamMatchesDecodeAll checks that chunked streaming over
+// an arena — for chunk sizes that do and do not divide the word count
+// — produces exactly the whole-arena DecodeAll outcome: same corrected
+// bytes, same per-word results in stream order, same tallies, and emit
+// observes contiguous base offsets.
+func TestDecodeStreamMatchesDecodeAll(t *testing.T) {
+	shapes := []struct{ n, k int }{{36, 16}, {255, 223}}
+	for _, s := range shapes {
+		c := MustNew(f8, s.n, s.k)
+		rng := rand.New(rand.NewSource(int64(1700 + s.n)))
+		const count = 24
+		stride := s.n + 2
+		b, erasures, _ := buildArena(t, rng, c, count, stride)
+		pristine := append([]gf.Elem(nil), b.Words...)
+
+		ref := runBatch(t, c.NewBatchDecoder(), pristine, stride, count, erasures)
+
+		for _, chunk := range []int{1, 5, 8, count} {
+			arena := append([]gf.Elem(nil), pristine...)
+			bd := c.NewBatchDecoder()
+			next := 0
+			fill := func() (Batch, [][]int, error) {
+				if next >= count {
+					return Batch{}, nil, nil
+				}
+				cnt := chunk
+				if count-next < cnt {
+					cnt = count - next
+				}
+				sub := Batch{
+					Words:  arena[next*stride : (next+cnt-1)*stride+s.n],
+					Stride: stride,
+					Count:  cnt,
+				}
+				var ers [][]int
+				if erasures != nil {
+					ers = erasures[next : next+cnt]
+				}
+				next += cnt
+				return sub, ers, nil
+			}
+			var bases []int
+			var words []WordResult
+			emit := func(base int, eb Batch, res *BatchResult) error {
+				bases = append(bases, base)
+				if len(res.Words) != eb.Count {
+					t.Fatalf("chunk=%d: emit got %d word results for %d-word chunk", chunk, len(res.Words), eb.Count)
+				}
+				words = append(words, res.Words...)
+				return nil
+			}
+			st, err := bd.DecodeStream(fill, emit)
+			if err != nil {
+				t.Fatalf("chunk=%d: DecodeStream: %v", chunk, err)
+			}
+			wantChunks := (count + chunk - 1) / chunk
+			if st.Chunks != wantChunks || st.Words != count {
+				t.Fatalf("chunk=%d: stats %d chunks / %d words, want %d / %d", chunk, st.Chunks, st.Words, wantChunks, count)
+			}
+			if st.Clean != ref.clean || st.Corrected != ref.corr || st.Failed != ref.failed {
+				t.Fatalf("chunk=%d: stream tallies (%d,%d,%d) != DecodeAll (%d,%d,%d)",
+					chunk, st.Clean, st.Corrected, st.Failed, ref.clean, ref.corr, ref.failed)
+			}
+			for i, base := range bases {
+				if want := i * chunk; base != want {
+					t.Fatalf("chunk=%d: emit base[%d] = %d, want %d", chunk, i, base, want)
+				}
+			}
+			if !reflect.DeepEqual(words, ref.words) {
+				t.Fatalf("chunk=%d: streamed word results differ from whole-arena DecodeAll", chunk)
+			}
+			if !equalElems(arena, ref.arena) {
+				t.Fatalf("chunk=%d: streamed arena differs from whole-arena DecodeAll", chunk)
+			}
+		}
+	}
+}
+
+// TestDecodeStreamErrors covers the abort paths: missing fill, a fill
+// error (wrapped with the words-so-far count), an emit error (wrapped
+// with the chunk index), and an invalid chunk shape surfacing the
+// DecodeAll validation error.
+func TestDecodeStreamErrors(t *testing.T) {
+	c := MustNew(f8, 18, 16)
+	bd := c.NewBatchDecoder()
+
+	if _, err := bd.DecodeStream(nil, nil); err == nil || !strings.Contains(err.Error(), "fill callback") {
+		t.Fatalf("nil fill: err = %v", err)
+	}
+
+	sentinel := errors.New("device gone")
+	arena := make([]gf.Elem, 18)
+	if err := c.EncodeTo(arena, make([]gf.Elem, 16)); err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	st, err := bd.DecodeStream(func() (Batch, [][]int, error) {
+		calls++
+		if calls > 1 {
+			return Batch{}, nil, sentinel
+		}
+		return Batch{Words: arena, Stride: 18, Count: 1}, nil, nil
+	}, nil)
+	if !errors.Is(err, sentinel) || !strings.Contains(err.Error(), "stream fill after 1 words") {
+		t.Fatalf("fill error: err = %v", err)
+	}
+	if st.Words != 1 || st.Chunks != 1 {
+		t.Fatalf("fill error: stats = %+v, want 1 chunk / 1 word", st)
+	}
+
+	emitErr := errors.New("sink full")
+	calls = 0
+	_, err = bd.DecodeStream(func() (Batch, [][]int, error) {
+		calls++
+		if calls > 1 {
+			return Batch{}, nil, nil
+		}
+		return Batch{Words: arena, Stride: 18, Count: 1}, nil, nil
+	}, func(base int, b Batch, res *BatchResult) error { return emitErr })
+	if !errors.Is(err, emitErr) || !strings.Contains(err.Error(), "stream emit at chunk 0") {
+		t.Fatalf("emit error: err = %v", err)
+	}
+
+	_, err = bd.DecodeStream(func() (Batch, [][]int, error) {
+		return Batch{Words: arena, Stride: 4, Count: 1}, nil, nil
+	}, nil)
+	if err == nil || !strings.Contains(err.Error(), "stride") {
+		t.Fatalf("bad chunk shape: err = %v", err)
+	}
+}
+
+// TestBatchErasureSteadyStateZeroAllocs pins the zero-allocation
+// steady state of the cached-erasure paths: an arena-wide shared list
+// (memo hit per word) and per-word distinct lists (content hit per
+// word), each re-corrupted and re-decoded per run after one warming
+// call.
+func TestBatchErasureSteadyStateZeroAllocs(t *testing.T) {
+	c := MustNew(f8, 36, 16)
+	const count = 16
+	rng := rand.New(rand.NewSource(61))
+	arena := make([]gf.Elem, count*36)
+	for w := 0; w < count; w++ {
+		if err := c.EncodeTo(arena[w*36:(w+1)*36], randData(rng, c)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := Batch{Words: arena, Stride: 36, Count: count}
+
+	shared := rng.Perm(36)[:8:8]
+	sharedErs := make([][]int, count)
+	distinctErs := make([][]int, count)
+	for w := 0; w < count; w++ {
+		sharedErs[w] = shared
+		distinctErs[w] = rng.Perm(36)[:6:6]
+	}
+	type flip struct {
+		pos int
+		val gf.Elem
+	}
+	flipsFor := func(ers [][]int) []flip {
+		var fl []flip
+		for w, list := range ers {
+			for _, p := range list {
+				fl = append(fl, flip{w*36 + p, gf.Elem(1 + rng.Intn(255))})
+			}
+		}
+		return fl
+	}
+	cases := []struct {
+		name  string
+		ers   [][]int
+		flips []flip
+	}{
+		{"shared-list", sharedErs, flipsFor(sharedErs)},
+		{"distinct-lists", distinctErs, flipsFor(distinctErs)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bd := c.NewBatchDecoder()
+			if _, err := bd.DecodeAll(b, tc.ers); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(100, func() {
+				for _, f := range tc.flips {
+					arena[f.pos] ^= f.val
+				}
+				res, err := bd.DecodeAll(b, tc.ers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Corrected != count {
+					t.Fatalf("%d corrected, want %d", res.Corrected, count)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state DecodeAll allocates %.1f per run, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestDecodeStreamSteadyStateZeroAllocs pins the streaming steady
+// state: with the fill closure, chunk arena and erasure lists all
+// reused across runs, a full stream pass allocates nothing.
+func TestDecodeStreamSteadyStateZeroAllocs(t *testing.T) {
+	c := MustNew(f8, 36, 16)
+	const (
+		count = 24
+		chunk = 8
+	)
+	rng := rand.New(rand.NewSource(62))
+	arena := make([]gf.Elem, count*36)
+	for w := 0; w < count; w++ {
+		if err := c.EncodeTo(arena[w*36:(w+1)*36], randData(rng, c)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shared := rng.Perm(36)[:8:8]
+	ers := make([][]int, chunk)
+	for w := range ers {
+		ers[w] = shared
+	}
+	type flip struct {
+		pos int
+		val gf.Elem
+	}
+	var flips []flip
+	for w := 0; w < count; w++ {
+		for _, p := range shared {
+			flips = append(flips, flip{w*36 + p, gf.Elem(1 + rng.Intn(255))})
+		}
+	}
+	bd := c.NewBatchDecoder()
+	next := 0
+	fill := func() (Batch, [][]int, error) {
+		if next >= count {
+			return Batch{}, nil, nil
+		}
+		sub := Batch{Words: arena[next*36 : (next+chunk)*36], Stride: 36, Count: chunk}
+		next += chunk
+		return sub, ers, nil
+	}
+	run := func() {
+		next = 0
+		st, err := bd.DecodeStream(fill, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Words != count {
+			t.Fatalf("streamed %d words, want %d", st.Words, count)
+		}
+	}
+	run() // warm the erasure-set cache
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, f := range flips {
+			arena[f.pos] ^= f.val
+		}
+		run()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state DecodeStream allocates %.1f per run, want 0", allocs)
+	}
+}

@@ -10,8 +10,11 @@ import (
 
 // buildArena fills a count-word arena (with the given stride) with
 // random codewords, then corrupts each word according to a randomly
-// chosen class, returning the per-word erasure lists and a pristine
-// copy of each received word for post-decode comparison.
+// chosen class — clean, random errors, erasures (distinct lists),
+// mixed, beyond-capability, invalid symbols — and sometimes overlays a
+// *shared* erasure list (one slice, many words, the stuck-column
+// shape), returning the per-word erasure lists and a pristine copy of
+// each received word for post-decode comparison.
 func buildArena(t *testing.T, rng *rand.Rand, c *Code, count, stride int) (Batch, [][]int, [][]gf.Elem) {
 	t.Helper()
 	n, d := c.N(), c.Redundancy()
@@ -24,7 +27,7 @@ func buildArena(t *testing.T, rng *rand.Rand, c *Code, count, stride int) (Batch
 		if err := c.EncodeTo(word, data); err != nil {
 			t.Fatal(err)
 		}
-		switch rng.Intn(5) {
+		switch rng.Intn(6) {
 		case 0: // clean
 		case 1: // correctable random errors
 			corruptInPlace(rng, word, rng.Intn(c.T()+1))
@@ -44,10 +47,35 @@ func buildArena(t *testing.T, rng *rand.Rand, c *Code, count, stride int) (Batch
 				word[p] ^= gf.Elem(1 + rng.Intn(c.Field().Size()-1))
 			}
 			erasures[w] = positions[:rng.Intn(ec+1)]
+		case 4: // invalid symbol (out of field range)
+			word[rng.Intn(n)] = gf.Elem(c.Field().Size() + rng.Intn(64))
+			if rng.Intn(2) == 0 {
+				erasures[w] = []int{rng.Intn(n)}
+			}
 		default: // beyond capability (often — bounded-distance may still accept)
 			corruptInPlace(rng, word, c.T()+1+rng.Intn(d))
 		}
-		received[w] = append([]gf.Elem(nil), word...)
+	}
+	if count > 1 && rng.Intn(2) == 0 {
+		// Shared-list overlay: one located-column set, one slice,
+		// assigned to a contiguous run of words (the arena-wide-shared
+		// shape the erasure-set cache is keyed for).
+		ec := 1 + rng.Intn(d)
+		shared := rng.Perm(n)[:ec:ec]
+		lo := rng.Intn(count)
+		hi := lo + 1 + rng.Intn(count-lo)
+		for w := lo; w < hi; w++ {
+			word := arena[w*stride : w*stride+n]
+			erasures[w] = shared
+			for _, p := range shared {
+				if rng.Intn(4) > 0 && int(word[p]) < c.Field().Size() {
+					word[p] ^= gf.Elem(1 + rng.Intn(c.Field().Size()-1))
+				}
+			}
+		}
+	}
+	for w := 0; w < count; w++ {
+		received[w] = append([]gf.Elem(nil), arena[w*stride:w*stride+n]...)
 	}
 	return Batch{Words: arena, Stride: stride, Count: count}, erasures, received
 }

@@ -52,18 +52,40 @@
 // packed syndrome fold over a precomputed contribution table — CRC
 // slicing-by-8 transplanted to GF(2^m), four 16-bit syndrome symbols
 // per uint64 row — accepting clean words without ever entering the
-// Berlekamp-Massey/Chien pipeline. Words with nonzero syndromes, with
-// erasures, or with invalid symbols run the ordinary per-word Decoder
-// machinery and are corrected in place in the arena, so every word's
-// outcome (corrected symbols, acceptance, error classification) is
-// identical to a per-word Decoder.Decode loop — just much faster when
-// the arena is mostly clean. A BatchDecoder from Code.NewBatchDecoder
-// owns its scratch like a Decoder does (one per goroutine, results
-// valid until the next call) and its steady state allocates nothing;
-// the contribution table itself lives on the Code, built once and
-// shared. Codes whose table would be too large (or whose field has no
-// multiplication table) transparently fall back to the per-word
-// pipeline for every word.
+// Berlekamp-Massey/Chien pipeline. The screen folds syndromes for
+// every word, erasures included, and a dirty word's folded syndromes
+// are handed straight to the per-word pipeline (the byte lanes unpack
+// into the Decoder's syndrome registers), so no word ever recomputes
+// the O(n·d) Horner syndromes the screen already paid for. Dirty
+// words are corrected in place in the arena, and every word's outcome
+// (corrected symbols, acceptance, error classification) is identical
+// to a per-word Decoder.Decode loop — just much faster when the arena
+// is mostly clean.
+//
+// Erasure-carrying words lean on a per-BatchDecoder erasure-set
+// cache: the erasure locator Γ(x) and its Chien/Forney setup depend
+// only on the position set, which scrub workloads repeat heavily (one
+// located-column list for a whole page arena), so the cache keys on
+// the list's content and an erasure-only word — syndromes explained
+// by Γ alone — completes by evaluating the cached roots, with no
+// Berlekamp-Massey iteration and no Chien sweep. The lists passed to
+// DecodeAll must not be mutated during the call and may be shared
+// between words (see Batch); sharing one list arena-wide is the fast
+// path.
+//
+// DecodeAll is serial by default; BatchDecoder.SetWorkers shards the
+// arena into contiguous word ranges decoded by a persistent worker
+// pool, with results bit-identical for every worker count. For stores
+// larger than memory, BatchDecoder.DecodeStream scrubs an unbounded
+// word sequence chunk by chunk through caller fill/emit callbacks,
+// reusing one sub-arena (see its chunk contract).
+//
+// A BatchDecoder from Code.NewBatchDecoder owns its scratch like a
+// Decoder does (one per goroutine, results valid until the next call)
+// and its steady state allocates nothing; the contribution table
+// itself lives on the Code, built once and shared. Codes whose table
+// would be too large (or whose field has no multiplication table)
+// transparently fall back to the per-word pipeline for every word.
 package rs
 
 import (
@@ -411,6 +433,12 @@ type Decoder struct {
 	word   []gf.Elem // corrected word
 	errPos []int     // ErrorPositions backing store
 	res    Result
+
+	// bmPure records whether the last berlekampMassey run saw every
+	// discrepancy vanish — i.e. the syndromes are fully explained by
+	// the erasure locator and Psi == Gamma. The batch layer's
+	// erasure-only fast path keys on it.
+	bmPure bool
 }
 
 // NewDecoder returns a fresh decoding workspace for c.
@@ -608,6 +636,159 @@ func (dec *Decoder) buildResult(received []gf.Elem) *Result {
 	return res
 }
 
+// decodeWithSyndromes runs the decoding pipeline on a word whose n-k
+// syndromes already sit in dec.syn — the batch screen's handoff, which
+// folded them as packed byte lanes — skipping symbol validation (the
+// screen's OR check proved validity), erasure-list validation (the
+// caller resolved it through the erasure-set cache and ent.err was
+// nil) and the O(n*d) Horner syndrome pass. ent carries the word's
+// cached erasure-set setup, or is nil for an erasure-free word. The
+// outcome is identical to decode(received, ent.positions, false).
+//
+// When the erasure-set entry supports it and Berlekamp-Massey saw
+// every discrepancy vanish (Psi == Gamma: the syndromes are fully
+// explained by the erasures), the correction applies directly at the
+// entry's precomputed locator roots and the O(n*deg) Chien sweep is
+// skipped entirely.
+func (dec *Decoder) decodeWithSyndromes(received []gf.Elem, ent *erasureEntry) (*Result, error) {
+	c := dec.c
+	d := c.n - c.k
+	copy(dec.word, received)
+	if allZero(dec.syn) {
+		return dec.buildResult(received), nil
+	}
+
+	rho := 0
+	gamma := dec.gamma
+	if ent != nil {
+		rho = len(ent.positions)
+		copy(gamma, ent.gamma)
+	} else {
+		for i := range gamma {
+			gamma[i] = 0
+		}
+		gamma[0] = 1
+	}
+
+	if err := dec.berlekampMassey(rho); err != nil {
+		return nil, err
+	}
+
+	omega := dec.omega
+	for i := range omega {
+		omega[i] = 0
+	}
+	for j := 0; j <= dec.psiDeg && j < d; j++ {
+		c.f.AddMulSlice(omega[j:], dec.syn[:d-j], dec.psi[j])
+	}
+
+	if ent != nil && rho > 0 && ent.fastOK && dec.bmPure {
+		dec.forneyAtRoots(ent)
+	} else {
+		nroots, err := dec.chienForney()
+		if err != nil {
+			return nil, err
+		}
+		if nroots != dec.psiDeg {
+			return nil, fmt.Errorf("%w: errata locator has %d roots in word, degree %d", ErrUncorrectable, nroots, dec.psiDeg)
+		}
+	}
+	if !allZero(dec.syn) {
+		return nil, fmt.Errorf("%w: residual syndromes after correction", ErrUncorrectable)
+	}
+	return dec.buildResult(received), nil
+}
+
+// forneyAtRoots applies the Forney correction at the precomputed roots
+// of the erasure locator — the erasure-only fast path taken when
+// Psi == Gamma, so the errata positions are exactly the erasure set
+// and the Chien search would rediscover what the cache already knows.
+// The arithmetic is the root-hit body of chienForney verbatim (same
+// magnitudes, same syndrome folding), minus the O(n*deg) sweep; the
+// caller's residual-syndrome check still stands guard behind it.
+func (dec *Decoder) forneyAtRoots(ent *erasureEntry) {
+	f := dec.c.f
+	omega := dec.omega
+	omegaDeg := len(omega) - 1
+	for omegaDeg >= 0 && omega[omegaDeg] == 0 {
+		omegaDeg--
+	}
+	fcr1 := dec.c.fcr == 1
+	syn := dec.syn
+	if f.MulRow(1) != nil {
+		// Row-view form: the Horner numerator and the syndrome fold are
+		// serial chains of one-constant multiplies, so each runs on a
+		// single L1-resident table row instead of log/exp round trips —
+		// and two roots' chains are independent, so they interleave to
+		// overlap the load latencies (the syndrome folds of a pair XOR
+		// into the same register, which is the same GF sum).
+		roots := ent.roots
+		i := 0
+		for ; i+1 < len(roots); i += 2 {
+			r0, r1 := &roots[i], &roots[i+1]
+			row0, row1 := f.MulRow(r0.xInv), f.MulRow(r1.xInv)
+			var n0, n1 gf.Elem
+			for j := omegaDeg; j >= 0; j-- {
+				w := omega[j]
+				n0 = row0[n0] ^ w
+				n1 = row1[n1] ^ w
+			}
+			mag0 := f.Mul(n0, r0.invDenom)
+			mag1 := f.Mul(n1, r1.invDenom)
+			if !fcr1 {
+				mag0 = f.Mul(mag0, r0.fcrAdj)
+				mag1 = f.Mul(mag1, r1.fcrAdj)
+			}
+			dec.word[r0.pos] ^= mag0
+			dec.word[r1.pos] ^= mag1
+			rx0, rx1 := f.MulRow(r0.x), f.MulRow(r1.x)
+			t0 := f.Mul(mag0, r0.synBase)
+			t1 := f.Mul(mag1, r1.synBase)
+			for j := range syn {
+				syn[j] ^= t0 ^ t1
+				t0 = rx0[t0]
+				t1 = rx1[t1]
+			}
+		}
+		for ; i < len(roots); i++ {
+			r := &roots[i]
+			rowXInv := f.MulRow(r.xInv)
+			var num gf.Elem
+			for j := omegaDeg; j >= 0; j-- {
+				num = rowXInv[num] ^ omega[j]
+			}
+			mag := f.Mul(num, r.invDenom)
+			if !fcr1 {
+				mag = f.Mul(mag, r.fcrAdj)
+			}
+			dec.word[r.pos] ^= mag
+			rowX := f.MulRow(r.x)
+			t := f.Mul(mag, r.synBase)
+			for j := range syn {
+				syn[j] ^= t
+				t = rowX[t]
+			}
+		}
+		return
+	}
+	for _, r := range ent.roots {
+		var num gf.Elem
+		for j := omegaDeg; j >= 0; j-- {
+			num = f.Mul(num, r.xInv) ^ omega[j]
+		}
+		mag := f.Mul(num, r.invDenom)
+		if !fcr1 {
+			mag = f.Mul(mag, r.fcrAdj)
+		}
+		dec.word[r.pos] ^= mag
+		t := f.Mul(mag, r.synBase)
+		for j := range syn {
+			syn[j] ^= t
+			t = f.Mul(t, r.x)
+		}
+	}
+}
+
 // chienForney sweeps the codeword positions with the incremental form
 // of the Chien search: term register j holds Psi_j * x^j at the
 // current evaluation point x = alpha^-(n-1-i) and advances by one
@@ -708,6 +889,7 @@ func (dec *Decoder) berlekampMassey(rho int) error {
 	bdelta := gf.Elem(1) // discrepancy at last length change
 	shift := 1           // x-power accumulated since last length change
 	length := rho        // current errata register length
+	dec.bmPure = true
 
 	for k := rho; k < d; k++ {
 		// Discrepancy delta = sum_j Lambda_j * S_(k-j).
@@ -723,6 +905,7 @@ func (dec *Decoder) berlekampMassey(rho int) error {
 			shift++
 			continue
 		}
+		dec.bmPure = false
 		// tmp = lambda + (delta/bdelta) * x^shift * bprev.
 		copy(tmp, lambda)
 		if shift <= d {

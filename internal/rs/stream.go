@@ -1,0 +1,66 @@
+package rs
+
+import "fmt"
+
+// StreamStats totals one DecodeStream run across every chunk.
+type StreamStats struct {
+	// Chunks counts the fill calls that returned words.
+	Chunks int
+	// Words is the total word count decoded, and the per-word tallies
+	// partition it exactly as BatchResult's do.
+	Words     int
+	Clean     int
+	Corrected int
+	Failed    int
+}
+
+// DecodeStream decodes an unbounded sequence of words chunk by chunk —
+// the scrub-pass form of DecodeAll for stores larger than memory. fill
+// is called before each chunk and returns the next sub-arena plus its
+// erasure lists (nil, or one list per chunk word; the Batch
+// list-sharing contract applies, and a set shared across chunks keeps
+// the erasure-locator cache warm for the whole stream). A returned
+// Count of 0 ends the stream; a fill error aborts it. The chunk is
+// caller-owned and decoded in place — reusing one fixed-size sub-arena
+// for every fill keeps the streaming steady state allocation-free —
+// and emit (optional) observes each chunk right after it decodes:
+// base is the stream-wide index of the chunk's first word, and res is
+// valid only until the next chunk. A non-nil emit error aborts the
+// stream.
+//
+// Chunks decode through DecodeAll, so per-word outcomes are identical
+// to Decoder.Decode and a SetWorkers configuration parallelizes each
+// chunk; only chunk boundaries distinguish a streamed decode from one
+// whole-arena call.
+func (bd *BatchDecoder) DecodeStream(
+	fill func() (Batch, [][]int, error),
+	emit func(base int, b Batch, res *BatchResult) error,
+) (StreamStats, error) {
+	var st StreamStats
+	if fill == nil {
+		return st, fmt.Errorf("rs: DecodeStream needs a fill callback")
+	}
+	for {
+		b, ers, err := fill()
+		if err != nil {
+			return st, fmt.Errorf("rs: stream fill after %d words: %w", st.Words, err)
+		}
+		if b.Count == 0 {
+			return st, nil
+		}
+		res, err := bd.DecodeAll(b, ers)
+		if err != nil {
+			return st, err
+		}
+		if emit != nil {
+			if err := emit(st.Words, b, res); err != nil {
+				return st, fmt.Errorf("rs: stream emit at chunk %d: %w", st.Chunks, err)
+			}
+		}
+		st.Chunks++
+		st.Words += b.Count
+		st.Clean += res.Clean
+		st.Corrected += res.Corrected
+		st.Failed += res.Failed
+	}
+}
