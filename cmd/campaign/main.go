@@ -70,30 +70,55 @@
 // # Distributed fabric
 //
 // The same partitioning can run as a coordinated fleet instead of
-// hand-launched -partition processes:
+// hand-launched -partition processes. With -spec, -serve is the
+// legacy single-campaign coordinator: it registers the spec as its
+// only job, hands slice leases to executors over HTTP, and merges in
+// this process once every slice arrived:
 //
 //	campaign -spec spec.json -serve :9618 -partials work/ -out results/
 //	campaign -executor http://coordinator:9618        # on any machine, any number of times
 //	campaign -status http://coordinator:9618          # progress, lease states, trials/sec
 //	campaign -status http://coordinator:9618 -json    # the same snapshot as JSON
 //
-// The -serve process plans every scenario into -slices deterministic
-// slices and hands them to executors as leases over HTTP; executors
-// are stateless (they fetch the spec from the coordinator, so they
-// need nothing but the URL), compute their slice in memory and upload
-// the partial artifact gzip-compressed (stored as-is; the artifact
-// reader sniffs the compression), renewing their lease while they
-// work. A lease
-// that expires — executor crashed, hung, or was killed — is stolen by
-// the next executor asking for work, so the campaign finishes without
-// operator action; duplicate uploads of a re-run slice are
-// byte-identical and ignored. Uploads are validated against the
-// slice's plan (geometry, partition, params digest, completeness)
-// before they land in a per-spec namespace under -partials, the
-// coordinator re-decides early stopping on the contiguous shard
-// prefix as uploads arrive (cancelling slices past the stopping
-// point), and when every slice is in, the merge runs in the -serve
-// process — producing results bit-identical to an unpartitioned run.
+// Without -spec, -serve is a multi-tenant job service: campaigns are
+// submitted while it runs, many jobs share one executor fleet, and
+// each job merges server-side into its own namespace:
+//
+//	campaign -serve :9618 -partials work/ -tenants alice=s3cret:4,bob=hunter2
+//	campaign -submit http://svc:9618 -spec spec.json -token s3cret   # prints the job URL
+//	campaign -jobs   http://svc:9618                                 # job table
+//	campaign -watch  http://svc:9618/jobs/j-abc123def456             # block until done; prints results dir
+//	campaign -executor http://svc:9618 -token s3cret                 # shared fleet, drains across jobs
+//
+// Jobs are keyed by the spec's content digest (resubmitting identical
+// bytes returns the same job), and a spec that fails validation is
+// recorded as a failed job — visible in -jobs and -status — rather
+// than vanishing. The scheduler hands any executor work from any
+// runnable job, round-robin across jobs for fair-share, and a
+// tenant's maxLeases caps its concurrently leased slices so one
+// tenant cannot starve the fleet. When -tenants is set, every
+// mutating request (submit, delete, lease, renew, upload) must carry
+// a matching bearer token; reads stay open. DELETE on a job's URL
+// cancels it. -drain-after N makes the service exit once N jobs have
+// been submitted and all of them finished (the CI shape); otherwise
+// it serves until killed.
+//
+// In both modes every scenario is planned into -slices deterministic
+// slices; executors are stateless and job-agnostic (each lease names
+// its job and spec digest; the executor fetches and caches the spec
+// per job, so it needs nothing but the URL), compute their slice in
+// memory and upload the partial artifact gzip-compressed (stored
+// as-is; the artifact reader sniffs the compression), renewing their
+// lease while they work. A lease that expires — executor crashed,
+// hung, or was killed — is stolen by the next executor asking for
+// work, so the campaign finishes without operator action; duplicate
+// uploads of a re-run slice are byte-identical and ignored. Uploads
+// are validated against the slice's plan (geometry, partition, params
+// digest, completeness) before they land in the job's per-spec
+// namespace under -partials, the registry re-decides early stopping
+// on the contiguous shard prefix as uploads arrive (cancelling slices
+// past the stopping point), and when every slice is in, the job
+// merges — producing results bit-identical to an unpartitioned run.
 // -exec-delay delays an executor's uploads (a fault-injection hook
 // for exercising lease expiry), and -exec-name labels it in
 // coordinator logs.
@@ -107,7 +132,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -138,6 +162,13 @@ func main() {
 		leaseTimeout = flag.Duration("lease-timeout", 0, "with -serve: how long a leased slice may go without an upload or renewal before another executor steals it (0 = 1m)")
 		execName     = flag.String("exec-name", "", "with -executor: executor name in leases and coordinator logs (default: host:pid)")
 		execDelay    = flag.Duration("exec-delay", 0, "with -executor: sleep between computing a slice and uploading it — a fault-injection hook for testing lease expiry and work stealing")
+
+		submitURL  = flag.String("submit", "", "submit -spec as a job to the fabric service at this base URL; prints the job URL")
+		jobsURL    = flag.String("jobs", "", "list the jobs of the fabric service at this base URL and exit")
+		watchURL   = flag.String("watch", "", "poll the job at this URL (as printed by -submit) until it reaches a terminal state; prints its results directory on success")
+		token      = flag.String("token", "", "bearer token for -submit/-executor against a service running with -tenants")
+		tenants    = flag.String("tenants", "", "with -serve: comma-separated name=token[:maxLeases] credentials; mutating requests must then authenticate, and maxLeases caps a tenant's concurrently leased slices")
+		drainAfter = flag.Int("drain-after", 0, "with -serve and no -spec: exit once this many jobs were submitted and all finished (0 = serve until killed)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -150,13 +181,46 @@ func main() {
 	if *statusJSON {
 		fatal(fmt.Errorf("-json is a -status output mode; pass -status too"))
 	}
+	if *jobsURL != "" {
+		os.Exit(runJobList(*jobsURL))
+	}
+	if *watchURL != "" {
+		os.Exit(runWatch(*watchURL))
+	}
 	if *executorURL != "" {
-		// Executors are stateless: the spec comes from the coordinator,
-		// so a -spec here would be a second, possibly divergent truth.
+		// Executors are stateless: specs come from the service, so a
+		// -spec here would be a second, possibly divergent truth.
 		if *specPath != "" {
-			fatal(fmt.Errorf("-executor fetches the spec from the coordinator; drop -spec"))
+			fatal(fmt.Errorf("-executor fetches specs from the coordinator; drop -spec"))
 		}
-		os.Exit(runExecutorMode(*executorURL, *execName, *execDelay, *workers))
+		os.Exit(runExecutorMode(*executorURL, *execName, *token, *execDelay, *workers))
+	}
+	if *submitURL != "" {
+		if *specPath == "" {
+			fatal(fmt.Errorf("-submit posts a spec to a job service; pass -spec too"))
+		}
+		os.Exit(runSubmit(*submitURL, *specPath, *token))
+	}
+	if (*tenants != "" || *drainAfter != 0) && *serveAddr == "" {
+		fatal(fmt.Errorf("-tenants/-drain-after configure the -serve service"))
+	}
+	if *serveAddr != "" && *specPath == "" {
+		// Multi-tenant job service: no campaign of its own, jobs arrive
+		// over POST /jobs and merge server-side.
+		if *partials == "" {
+			fatal(fmt.Errorf("-serve needs -partials, the work directory job namespaces land in"))
+		}
+		if *partition != "" || *merge || *outDir != "" {
+			fatal(fmt.Errorf("the job service schedules and merges per job; drop -partition/-merge/-out"))
+		}
+		os.Exit(runService(serveOptions{
+			addr:         *serveAddr,
+			baseDir:      *partials,
+			slices:       *slices,
+			leaseTimeout: *leaseTimeout,
+			tenants:      *tenants,
+			drainAfter:   *drainAfter,
+		}))
 	}
 	if *specPath == "" {
 		fmt.Fprintln(os.Stderr, "campaign: -spec is required")
@@ -236,6 +300,7 @@ func main() {
 			outDir:       *outDir,
 			quiet:        *quiet,
 			stream:       *stream,
+			tenants:      *tenants,
 		}))
 	}
 	os.Exit(runCampaigns(f, built, runOptions{
@@ -372,7 +437,7 @@ func runCampaigns(f *spec.File, built []*spec.Built, opts runOptions) int {
 			failures++
 		}
 		if opts.outDir != "" && !opts.stream {
-			if err := writeArtifacts(opts.outDir, b.Entry.ArtifactPath(), cres); err != nil {
+			if err := b.WriteArtifacts(opts.outDir, cres); err != nil {
 				fmt.Fprintf(os.Stderr, "campaign: %s: %v\n", b.Entry.Name, err)
 				failures++
 			}
@@ -449,7 +514,7 @@ func obtainResult(f *spec.File, b *spec.Built, opts runOptions) (*campaign.Resul
 	// (bounded, unlike samples); only the sample array lives
 	// exclusively in the CSV just streamed.
 	cres.Notes = sink.notes
-	if err := writeJSON(filepath.Join(opts.outDir, filepath.FromSlash(b.Entry.ArtifactPath())+".json"), cres); err != nil {
+	if err := spec.WriteResultJSON(filepath.Join(opts.outDir, filepath.FromSlash(b.Entry.ArtifactPath())+".json"), cres); err != nil {
 		return nil, err
 	}
 	return cres, nil
@@ -468,38 +533,6 @@ type noteKeepingSink struct {
 func (s *noteKeepingSink) Note(n campaign.Note) error {
 	s.notes = append(s.notes, n)
 	return nil
-}
-
-// writeArtifacts stores the result under the entry's sanitized
-// artifact path (matrix cells: one subdirectory per matrix entry,
-// one JSON/CSV pair per cell).
-func writeArtifacts(dir, name string, cres *campaign.Result) error {
-	jsonPath := filepath.Join(dir, name+".json")
-	if err := os.MkdirAll(filepath.Dir(jsonPath), 0o755); err != nil {
-		return err
-	}
-	if err := writeJSON(jsonPath, cres); err != nil {
-		return err
-	}
-	csvFile, err := os.Create(filepath.Join(dir, name+".csv"))
-	if err != nil {
-		return err
-	}
-	defer csvFile.Close()
-	if err := expdata.WriteCampaignCSV(csvFile, cres); err != nil {
-		return err
-	}
-	return csvFile.Close()
-}
-
-func writeJSON(path string, cres *campaign.Result) error {
-	data, err := json.MarshalIndent(cres, "", "  ")
-	if err != nil {
-		return err
-	}
-	// Atomic, so a crash mid-write (or a concurrent reader watching the
-	// results directory) never sees a truncated JSON artifact.
-	return expdata.WriteFileAtomic(path, append(data, '\n'), 0o644)
 }
 
 func fatal(err error) {

@@ -211,35 +211,60 @@
 //
 // # The distributed campaign fabric
 //
-// internal/fabric takes the plan/execute/merge split across machines.
-// A coordinator (cmd/campaign -serve) plans every spec entry into
-// deterministic slices — the same Partition geometry -partition uses,
-// so the engine's determinism law applies unchanged — and hands them
-// to a fleet of stateless executors (cmd/campaign -executor, needing
-// nothing but the coordinator URL: the spec itself is fetched from
-// the coordinator) as leases over plain HTTP. Executors compute their
+// internal/fabric takes the plan/execute/merge split across machines,
+// organized as a job service. A registry holds any number of jobs —
+// one job per submitted spec, keyed by the spec's content digest
+// (resubmitting identical bytes is idempotent) — each planned into
+// deterministic slices: the same Partition geometry -partition uses,
+// so the engine's determinism law applies unchanged. Jobs move
+// through pending, running, merging and done/failed; a spec that
+// fails validation is recorded as a failed job rather than vanishing,
+// so operators see it in the job list with its error. The HTTP job
+// API (POST/GET /jobs, GET/DELETE /jobs/{id}, GET /jobs/{id}/spec)
+// rides next to the lease protocol, and cmd/campaign fronts it with
+// -serve (the service), -submit, -jobs, -watch and -status verbs;
+// with -spec, -serve degenerates to the original single-campaign
+// coordinator, which merges in-process and produces byte-identical
+// artifacts to an unpartitioned run.
+//
+// Executors (cmd/campaign -executor, needing nothing but the service
+// URL) are stateless and job-agnostic: every lease names its job and
+// the spec's full digest, and the executor fetches, verifies and
+// caches each job's spec on first contact, so one fleet drains many
+// campaigns concurrently. The scheduler hands work round-robin across
+// runnable jobs (fair share), and per-tenant quotas cap how many
+// slices a tenant may hold concurrently; when the registry is
+// configured with tenants, every mutating request — submit, delete,
+// lease, renew, upload — must carry the tenant's bearer token, reads
+// stay open, and only a job's owner may delete it. Executors retry
+// with capped, jittered exponential backoff and honor context
+// cancellation, so a restarting service sees a gentle reconnect
+// rather than a stampede. Executors compute their
 // slice in memory, renew their lease while working, and upload the
 // serialized partial artifact gzip-compressed (roughly 10:1 on JSONL;
-// the coordinator stores uploads verbatim and the artifact reader
+// the registry stores uploads verbatim and the artifact reader
 // sniffs the gzip magic, so compressed and plain partials mix freely
-// in one merge); the coordinator validates every upload
+// in one merge); the registry validates every upload
 // against the slice's plan (geometry, partition, params digest,
-// completeness) before accepting it into a per-spec namespace
+// completeness) before accepting it into the job's per-spec namespace
 // directory. A lease that expires — executor crashed, hung, or
 // SIGKILLed — is stolen by the next executor asking for work, and
 // because slices are pure functions of the global trial index, the
 // recomputed upload is byte-identical and any zombie duplicate is
-// simply ignored. Between arrivals the coordinator folds the
+// simply ignored. Between arrivals the registry folds the
 // contiguous shard prefix incrementally and re-decides Wilson-CI
 // early stopping exactly as the merger does, cancelling slices past
 // the stopping shard so a fleet never computes work a single process
-// would have skipped. When the last slice lands, the ordinary merge
-// runs in the -serve process: the fabric's end-to-end law, enforced
-// by CI with three executors (one SIGKILLed mid-run), is that the
+// would have skipped. When a job's last slice lands, the ordinary
+// merge runs server-side into the job's namespace (or in the -serve
+// process in legacy single-spec mode): the fabric's end-to-end law,
+// enforced by CI with two concurrent jobs on three shared executors
+// (and a chaos pass SIGKILLing one mid-run), is that every job's
 // merged artifacts are byte-identical to an unpartitioned run's. A
-// status endpoint (cmd/campaign -status) reports per-slice lease
-// state, steal counts, trials/sec and merge progress, as text or as
-// a JSON snapshot (-status -json) for dashboards and scripts.
+// status endpoint (cmd/campaign -status) reports per-job state and
+// per-slice lease state, steal counts, trials/sec and merge progress,
+// as text or as a JSON snapshot (-status -json) for dashboards and
+// scripts.
 //
 // Campaign identity is guarded end to end: partial artifacts and
 // checkpoints carry the scenario name, geometry and — when run
@@ -267,10 +292,12 @@
 // any allocation increase or a >25% latency regression (min-of-5
 // ns/op, so one-sided scheduler noise cannot fake a pass or a fail).
 // A fabric-e2e job runs the coordinator/executor fleet as local
-// processes — three healthy executors, then a chaos pass that
-// SIGKILLs one mid-run and requires its lease to be stolen — and
-// diffs the merged artifacts byte-for-byte against the unpartitioned
-// run. Every job carries a timeout, and failing e2e jobs upload their
+// processes — three healthy executors, then a multi-tenant pass
+// submitting two specs to one job service and requiring the shared
+// fleet to provably interleave leases across both jobs, then a chaos
+// pass that SIGKILLs an executor mid-run and requires its lease to be
+// stolen — and diffs every merged result tree byte-for-byte against
+// the unpartitioned run. Every job carries a timeout, and failing e2e jobs upload their
 // logs and partial artifacts for post-mortem.
 // The ci smoke also runs the rare-event spec
 // (examples/campaign/rare.json), which gates both the importance-

@@ -1,0 +1,159 @@
+package campaign
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// sinkEvent is one Sink callback, recorded to compare callback
+// sequences between sequential and parallel merges.
+type sinkEvent struct {
+	kind   string
+	sample Sample
+	note   Note
+}
+
+// recordingSink captures the exact Sink callback sequence.
+type recordingSink struct {
+	res    *Result
+	events []sinkEvent
+}
+
+func (s *recordingSink) Start(res *Result) error { s.res = res; return nil }
+func (s *recordingSink) Sample(sm Sample) error {
+	s.events = append(s.events, sinkEvent{kind: "sample", sample: sm})
+	return nil
+}
+func (s *recordingSink) Note(n Note) error {
+	s.events = append(s.events, sinkEvent{kind: "note", note: n})
+	return nil
+}
+
+// partitionedPartials executes the scenario as parts separate
+// file-backed partitions and reopens the artifacts, so the parallel
+// merge exercises the spilled-record (disk re-read) path.
+func partitionedPartials(t *testing.T, scn Scenario, shardSize, parts int, dir string) []*Partial {
+	t.Helper()
+	var partials []*Partial
+	for i := 0; i < parts; i++ {
+		plan, err := NewPlan(scn, shardSize, Partition{Index: i, Count: parts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		artifact := filepath.Join(dir, fmt.Sprintf("p%dof%d.jsonl", i, parts))
+		partial, err := Execute(scn, plan, ExecConfig{Workers: 1 + i%3, Artifact: artifact})
+		if err != nil {
+			t.Fatal(err)
+		}
+		partial.Close()
+		reopened, err := OpenPartial(artifact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		partials = append(partials, reopened)
+		t.Cleanup(func() { reopened.Close() })
+	}
+	return partials
+}
+
+// TestMergeParallelMatchesSequential is the parallel-merge law:
+// MergeConfig.Workers at 1, 4 and 8 produces a Result DeepEqual to the
+// sequential merge, for in-memory and file-backed partials alike.
+func TestMergeParallelMatchesSequential(t *testing.T) {
+	scn := &coinScenario{name: "coin", trials: 3000, seed: 21, p: 0.35}
+	for _, parts := range []int{1, 3, 5} {
+		partials := partitionedPartials(t, scn, 64, parts, t.TempDir())
+		want, err := Merge(partials, MergeConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4, 8} {
+			got, err := Merge(partials, MergeConfig{Workers: workers})
+			if err != nil {
+				t.Fatalf("parts=%d workers=%d: %v", parts, workers, err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("parts=%d workers=%d: parallel merge diverged:\nwant %+v\ngot  %+v", parts, workers, want, got)
+			}
+		}
+	}
+}
+
+// TestMergeParallelSinkOrder: with a Sink, the parallel merge must
+// deliver the exact same callback sequence (samples and notes in
+// global trial order) the sequential merge delivers — the property
+// streaming-CSV byte-identity rests on.
+func TestMergeParallelSinkOrder(t *testing.T) {
+	scn := &coinScenario{name: "coin", trials: 2000, seed: 4, p: 0.5}
+	partials := partitionedPartials(t, scn, 64, 4, t.TempDir())
+
+	var want recordingSink
+	if _, err := Merge(partials, MergeConfig{Sink: &want}); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, 8} {
+		var got recordingSink
+		if _, err := Merge(partials, MergeConfig{Sink: &got, Workers: workers}); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want.res, got.res) {
+			t.Errorf("workers=%d: sink Start result diverged", workers)
+		}
+		if !reflect.DeepEqual(want.events, got.events) {
+			t.Errorf("workers=%d: sink callback sequence diverged (%d vs %d events)",
+				workers, len(want.events), len(got.events))
+		}
+	}
+}
+
+// TestMergeParallelEarlyStop: the parallel pass 2 only sees shards up
+// to the deterministic stopping shard, so an early-stopped merge stays
+// bit-identical at any worker count.
+func TestMergeParallelEarlyStop(t *testing.T) {
+	scn := &coinScenario{name: "coin", trials: 20000, seed: 13, p: 0.4}
+	stop := &EarlyStop{Counter: "hits", RelHalfWidth: 0.05, MinTrials: 100}
+	partials := partitionedPartials(t, scn, 64, 3, t.TempDir())
+	want, err := Merge(partials, MergeConfig{Stop: stop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.EarlyStopped {
+		t.Fatal("fixture did not early-stop; resize it")
+	}
+	got, err := Merge(partials, MergeConfig{Stop: stop, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("early-stopped parallel merge diverged:\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+// TestMergeParallelSinkError: a sink error mid-stream aborts the
+// parallel merge cleanly (no deadlock, no goroutine leak panic) and
+// surfaces the error.
+func TestMergeParallelSinkError(t *testing.T) {
+	scn := &coinScenario{name: "coin", trials: 2000, seed: 8, p: 0.5}
+	partials := partitionedPartials(t, scn, 64, 2, t.TempDir())
+	sink := &failingSink{failAt: 50}
+	_, err := Merge(partials, MergeConfig{Sink: sink, Workers: 4})
+	if err == nil || err.Error() != "sink full" {
+		t.Fatalf("parallel merge with failing sink: err %v, want 'sink full'", err)
+	}
+}
+
+type failingSink struct {
+	n, failAt int
+}
+
+func (s *failingSink) Start(*Result) error { return nil }
+func (s *failingSink) Sample(Sample) error {
+	s.n++
+	if s.n >= s.failAt {
+		return fmt.Errorf("sink full")
+	}
+	return nil
+}
+func (s *failingSink) Note(Note) error { return nil }

@@ -13,6 +13,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strconv"
+	"sync"
 )
 
 // Partial-result artifact format. Version 2 is an append-only JSON
@@ -220,8 +221,9 @@ type Partial struct {
 	mem      map[int]*shardRecord       // artifact-less (or gzip-loaded) records
 	loc      map[int][2]int64           // file-backed record {offset, length}
 
-	path string
-	file *os.File // lazily opened read handle for Load
+	path   string
+	fileMu sync.Mutex // guards the lazy reopen below (parallel merges load concurrently)
+	file   *os.File   // lazily opened read handle for load; reads use ReadAt (positional, shareable)
 }
 
 // Partition returns the slice of the campaign this partial holds.
@@ -280,15 +282,19 @@ func (p *Partial) load(idx int) (*shardRecord, error) {
 	if !ok {
 		return nil, fmt.Errorf("campaign: partial %s has no shard %d", describePartial(p), idx)
 	}
+	p.fileMu.Lock()
 	if p.file == nil {
 		f, err := os.Open(p.path)
 		if err != nil {
+			p.fileMu.Unlock()
 			return nil, fmt.Errorf("campaign: reopen partial: %w", err)
 		}
 		p.file = f
 	}
+	file := p.file
+	p.fileMu.Unlock()
 	buf := make([]byte, loc[1])
-	if _, err := p.file.ReadAt(buf, loc[0]); err != nil {
+	if _, err := file.ReadAt(buf, loc[0]); err != nil {
 		return nil, fmt.Errorf("campaign: read partial %s shard %d: %w", p.path, idx, err)
 	}
 	var rec shardRecord

@@ -1,0 +1,50 @@
+package spec
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+
+	"repro/internal/campaign"
+	"repro/internal/expdata"
+)
+
+// WriteArtifacts stores the result under the entry's sanitized
+// artifact path below dir: <path>.json (the raw engine result,
+// indented, written atomically) and <path>.csv (counters and
+// samples). Matrix cells land in a subdirectory named after the
+// matrix entry. This is the single artifact-writing path — the
+// cmd/campaign run/merge flows and the fabric registry's per-job
+// server-side merge all produce their result trees through it, which
+// is what makes a job's artifact root byte-identical to a
+// single-process run of the same spec.
+func (b *Built) WriteArtifacts(dir string, cres *campaign.Result) error {
+	base := filepath.Join(dir, filepath.FromSlash(b.Entry.ArtifactPath()))
+	if err := os.MkdirAll(filepath.Dir(base), 0o755); err != nil {
+		return err
+	}
+	if err := WriteResultJSON(base+".json", cres); err != nil {
+		return err
+	}
+	csvFile, err := os.Create(base + ".csv")
+	if err != nil {
+		return err
+	}
+	defer csvFile.Close()
+	if err := expdata.WriteCampaignCSV(csvFile, cres); err != nil {
+		return err
+	}
+	return csvFile.Close()
+}
+
+// WriteResultJSON writes one campaign result as an indented JSON
+// document, atomically (tmp + rename), so a crash mid-write — or a
+// concurrent reader watching the results directory — never sees a
+// truncated artifact.
+func WriteResultJSON(path string, cres *campaign.Result) error {
+	data, err := json.MarshalIndent(cres, "", "  ")
+	if err != nil {
+		return err
+	}
+	return expdata.WriteFileAtomic(path, append(data, '\n'), 0o644)
+}

@@ -3,10 +3,13 @@ package fabric
 import (
 	"bytes"
 	"compress/gzip"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net/http"
 	"time"
 
@@ -16,10 +19,13 @@ import (
 
 // ExecutorConfig assembles one stateless executor.
 type ExecutorConfig struct {
-	// URL is the coordinator's base URL.
+	// URL is the registry's base URL.
 	URL string
-	// Name identifies this executor in leases and coordinator logs.
+	// Name identifies this executor in leases and registry logs.
 	Name string
+	// Token is the bearer token sent on every mutating request; leave
+	// empty against an open registry.
+	Token string
 	// Workers is the per-slice goroutine count (0 = GOMAXPROCS).
 	Workers int
 	// UploadDelay sleeps between executing a slice and uploading it —
@@ -27,6 +33,11 @@ type ExecutorConfig struct {
 	// lease to expire and the slice to be stolen, which is what the
 	// chaos test in CI arranges deterministically.
 	UploadDelay time.Duration
+	// DrainTimeout is how long the registry may be unreachable — after
+	// having been reached at least once — before the executor drains
+	// and exits cleanly (0 = 15s). A registry that was never reachable
+	// is an error instead, after a 30s startup grace window.
+	DrainTimeout time.Duration
 	// Client issues the HTTP requests (nil = a client with sane
 	// timeouts for everything but the upload itself).
 	Client *http.Client
@@ -34,14 +45,76 @@ type ExecutorConfig struct {
 	Log *log.Logger
 }
 
-// RunExecutor fetches the spec from the coordinator, builds it
-// locally, and loops: lease a slice, execute it in memory, upload the
-// serialized partial, renew leases in the background while computing.
-// It returns nil once the coordinator reports the campaign done — or
-// once the coordinator stops answering after having been reachable,
-// which is how a fleet drains when the coordinator exits after its
-// final merge.
-func RunExecutor(cfg ExecutorConfig) error {
+// errUnauthorized aborts the executor immediately: a rejected token
+// will not start working on retry.
+var errUnauthorized = errors.New("fabric: executor: registry rejected the bearer token")
+
+// backoff produces capped, jittered exponential delays: each call
+// returns a duration uniformly drawn from [d/2, d] where d doubles
+// from base up to max. The jitter decorrelates a fleet of executors
+// that all lost the registry (or all found no work) at the same
+// moment, so their retries do not arrive as synchronized waves.
+type backoff struct {
+	d, base, max time.Duration
+	rng          *rand.Rand
+}
+
+func newBackoff(base, max time.Duration) *backoff {
+	return &backoff{d: base, base: base, max: max, rng: rand.New(rand.NewSource(time.Now().UnixNano()))}
+}
+
+func (b *backoff) next() time.Duration {
+	d := b.d
+	b.d *= 2
+	if b.d > b.max {
+		b.d = b.max
+	}
+	return d/2 + time.Duration(b.rng.Int63n(int64(d/2)+1))
+}
+
+func (b *backoff) reset() { b.d = b.base }
+
+// sleepCtx sleeps for d or until the context is cancelled; it reports
+// whether the full sleep elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// builtJob is one job's spec, fetched from the registry, compiled and
+// cached for the executor's lifetime (job IDs are content-addressed,
+// so a cache entry can never go stale).
+type builtJob struct {
+	file   *spec.File
+	byName map[string]*spec.Built
+}
+
+// executor carries the per-run state of RunExecutor.
+type executor struct {
+	cfg    ExecutorConfig
+	client *http.Client
+	log    *log.Logger
+	specs  map[string]*builtJob // job ID -> compiled spec
+}
+
+// RunExecutor runs one job-agnostic executor against the registry at
+// cfg.URL: lease a slice from whichever job the registry offers, fetch
+// and cache that job's spec (verified against the lease's digest),
+// execute the slice in memory, upload the serialized partial, renew
+// the lease in the background while computing — and repeat across
+// jobs until the registry reports it has drained. It returns nil on a
+// clean drain — including the registry becoming unreachable after
+// having been reached, which is how a fleet winds down when the
+// registry exits — and an error on cancellation, a rejected token, or
+// a registry that never answered. Transient failures retry under
+// capped jittered exponential backoff and honor ctx cancellation.
+func RunExecutor(ctx context.Context, cfg ExecutorConfig) error {
 	logger := cfg.Log
 	if logger == nil {
 		logger = log.Default()
@@ -53,139 +126,190 @@ func RunExecutor(cfg ExecutorConfig) error {
 	if cfg.Name == "" {
 		cfg.Name = "executor"
 	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 15 * time.Second
+	}
+	e := &executor{cfg: cfg, client: client, log: logger, specs: make(map[string]*builtJob)}
 
-	specBytes, err := fetchSpec(client, cfg.URL)
-	if err != nil {
-		return err
-	}
-	f, err := spec.Parse(specBytes)
-	if err != nil {
-		return fmt.Errorf("fabric: executor: coordinator spec does not parse: %w", err)
-	}
-	built, err := f.BuildAll()
-	if err != nil {
-		return fmt.Errorf("fabric: executor: coordinator spec does not build: %w", err)
-	}
-	byName := make(map[string]*spec.Built, len(built))
-	for _, b := range built {
-		byName[b.Entry.Name] = b
-	}
-	logger.Printf("fabric: executor %s: built %d entries from %s", cfg.Name, len(built), cfg.URL)
-
-	// Once the coordinator has answered at all, connection errors mean
-	// it is gone (done and exited, or crashed); give it a grace window
-	// and then drain rather than spinning forever.
-	const maxConnFailures = 30
-	connFailures := 0
+	idle := newBackoff(100*time.Millisecond, 2*time.Second)  // registry has no work for us
+	retry := newBackoff(250*time.Millisecond, 5*time.Second) // connection or lease errors
+	startDeadline := time.Now().Add(30 * time.Second)
+	contacted := false
+	var unreachableSince time.Time
 	for {
-		lease, wait, done, err := requestLease(client, cfg.URL, cfg.Name)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		lease, done, err := e.requestLease(ctx)
 		if err != nil {
-			connFailures++
-			if connFailures >= maxConnFailures {
-				logger.Printf("fabric: executor %s: coordinator unreachable (%v); draining", cfg.Name, err)
-				return nil
+			if errors.Is(err, errUnauthorized) {
+				return err
 			}
-			time.Sleep(500 * time.Millisecond)
+			if !contacted {
+				// Startup race: the registry may still be coming up
+				// (executors and registry start concurrently in CI and
+				// under process supervisors).
+				if time.Now().After(startDeadline) {
+					return fmt.Errorf("fabric: executor %s: registry at %s not reachable: %w", cfg.Name, cfg.URL, err)
+				}
+			} else {
+				if unreachableSince.IsZero() {
+					unreachableSince = time.Now()
+				}
+				if time.Since(unreachableSince) > cfg.DrainTimeout {
+					logger.Printf("fabric: executor %s: registry unreachable for %s (%v); draining",
+						cfg.Name, cfg.DrainTimeout, err)
+					return nil
+				}
+			}
+			if !sleepCtx(ctx, retry.next()) {
+				return ctx.Err()
+			}
 			continue
 		}
-		connFailures = 0
+		contacted = true
+		unreachableSince = time.Time{}
+		retry.reset()
 		if done {
-			logger.Printf("fabric: executor %s: campaign complete; exiting", cfg.Name)
+			logger.Printf("fabric: executor %s: registry drained; exiting", cfg.Name)
 			return nil
 		}
 		if lease == nil {
-			time.Sleep(wait)
+			// 204: everything is leased, quota-blocked or between jobs.
+			if !sleepCtx(ctx, idle.next()) {
+				return ctx.Err()
+			}
 			continue
 		}
-		if err := runLease(client, cfg, f, byName, lease, logger); err != nil {
-			// A failed slice (bad lease, rejected upload) is the
-			// coordinator's to reassign; log and keep pulling work.
-			logger.Printf("fabric: executor %s: lease %s: %v", cfg.Name, lease.ID, err)
-			time.Sleep(200 * time.Millisecond)
-		}
-	}
-}
-
-// fetchSpec downloads the raw spec bytes, retrying while the
-// coordinator comes up (executors and coordinator start concurrently
-// in CI and under process supervisors).
-func fetchSpec(client *http.Client, base string) ([]byte, error) {
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		resp, err := client.Get(base + pathSpec)
+		idle.reset()
+		bj, err := e.builtFor(ctx, lease)
 		if err == nil {
-			if resp.StatusCode != http.StatusOK {
-				body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
-				resp.Body.Close()
-				return nil, fmt.Errorf("fabric: executor: GET %s: %s: %s", pathSpec, resp.Status, bytes.TrimSpace(body))
-			}
-			data, rerr := io.ReadAll(resp.Body)
-			resp.Body.Close()
-			if rerr == nil {
-				return data, nil
-			}
-			err = rerr
+			err = e.runLease(ctx, bj, lease)
 		}
-		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("fabric: executor: coordinator at %s not reachable: %w", base, err)
+		if err != nil {
+			// A failed slice (bad lease, rejected upload) is the
+			// registry's to reassign; log and keep pulling work.
+			logger.Printf("fabric: executor %s: lease %s (job %s): %v", cfg.Name, lease.ID, lease.Job, err)
+			if !sleepCtx(ctx, retry.next()) {
+				return ctx.Err()
+			}
 		}
-		time.Sleep(250 * time.Millisecond)
 	}
 }
 
-// requestLease asks the coordinator for work.
-func requestLease(client *http.Client, base, name string) (lease *Lease, wait time.Duration, done bool, err error) {
-	body, _ := json.Marshal(leaseRequest{Executor: name})
-	resp, err := client.Post(base+pathLease, "application/json", bytes.NewReader(body))
+// post issues an authenticated POST with the executor's token.
+func (e *executor) post(ctx context.Context, url, contentType string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, body)
 	if err != nil {
-		return nil, 0, false, err
+		return nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	setBearer(req, e.cfg.Token)
+	return e.client.Do(req)
+}
+
+// requestLease asks the registry for work. A nil lease with done=false
+// means no grantable work right now (idle-backoff and retry).
+func (e *executor) requestLease(ctx context.Context) (lease *Lease, done bool, err error) {
+	body, _ := json.Marshal(leaseRequest{Executor: e.cfg.Name})
+	resp, err := e.post(ctx, e.cfg.URL+pathLease, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var reply leaseReply
+		if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+			return nil, false, err
+		}
+		return reply.Lease, reply.Done, nil
+	case http.StatusNoContent:
+		return nil, false, nil
+	case http.StatusUnauthorized:
+		return nil, false, errUnauthorized
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		return nil, false, fmt.Errorf("POST %s: %s: %s", pathLease, resp.Status, bytes.TrimSpace(msg))
+	}
+}
+
+// builtFor returns the lease's compiled spec, fetching it from the
+// registry on first encounter and verifying the bytes against the
+// lease's digest — a mismatch means the registry swapped specs under a
+// job ID, which content-addressed IDs make impossible short of a bug
+// or an imposter, so it is an error, not a retry.
+func (e *executor) builtFor(ctx context.Context, lease *Lease) (*builtJob, error) {
+	if bj, ok := e.specs[lease.Job]; ok {
+		return bj, nil
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, e.cfg.URL+pathJobs+"/"+lease.Job+"/spec", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := e.client.Do(req)
+	if err != nil {
+		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
-		return nil, 0, false, fmt.Errorf("POST %s: %s: %s", pathLease, resp.Status, bytes.TrimSpace(msg))
+		return nil, fmt.Errorf("GET spec for job %s: %s: %s", lease.Job, resp.Status, bytes.TrimSpace(msg))
 	}
-	var reply leaseReply
-	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
-		return nil, 0, false, err
+	specBytes, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
 	}
-	wait = time.Duration(reply.WaitMS) * time.Millisecond
-	if wait <= 0 {
-		wait = 250 * time.Millisecond
+	if got := SpecDigest(specBytes); got != lease.SpecDigest {
+		return nil, fmt.Errorf("job %s spec digest mismatch: lease says %s, bytes hash to %s", lease.Job, lease.SpecDigest, got)
 	}
-	return reply.Lease, wait, reply.Done, nil
+	f, err := spec.Parse(specBytes)
+	if err != nil {
+		return nil, fmt.Errorf("job %s spec does not parse: %w", lease.Job, err)
+	}
+	built, err := f.BuildAll()
+	if err != nil {
+		return nil, fmt.Errorf("job %s spec does not build: %w", lease.Job, err)
+	}
+	bj := &builtJob{file: f, byName: make(map[string]*spec.Built, len(built))}
+	for _, b := range built {
+		bj.byName[b.Entry.Name] = b
+	}
+	e.specs[lease.Job] = bj
+	e.log.Printf("fabric: executor %s: built %d entries for job %s", e.cfg.Name, len(built), lease.Job)
+	return bj, nil
 }
 
 // runLease executes one leased slice and uploads the result.
-func runLease(client *http.Client, cfg ExecutorConfig, f *spec.File, byName map[string]*spec.Built, lease *Lease, logger *log.Logger) error {
-	b, ok := byName[lease.Entry]
+func (e *executor) runLease(ctx context.Context, bj *builtJob, lease *Lease) error {
+	b, ok := bj.byName[lease.Entry]
 	if !ok {
-		return fmt.Errorf("coordinator leased unknown entry %q — executor built a different spec", lease.Entry)
+		return fmt.Errorf("registry leased unknown entry %q — executor built a different spec", lease.Entry)
 	}
-	ecfg := b.EngineConfig(f)
+	ecfg := b.EngineConfig(bj.file)
 	plan, err := campaign.NewPlan(b.Scenario, lease.ShardSize, campaign.Partition{Index: lease.Index, Count: lease.Count})
 	if err != nil {
 		return err
 	}
 	plan.ParamsDigest = ecfg.ParamsDigest
-	// The lease echoes the coordinator's plan; any disagreement means
-	// the two sides built different campaigns from the "same" spec
-	// (version skew, nondeterministic kind) and computing would waste
-	// the slice on an upload the coordinator must reject.
+	// The lease echoes the registry's plan; any disagreement means the
+	// two sides built different campaigns from the "same" spec (version
+	// skew, nondeterministic kind) and computing would waste the slice
+	// on an upload the registry must reject.
 	if plan.Scenario != lease.Scenario || plan.Trials != lease.Trials ||
 		plan.NumShards != lease.NumShards || plan.ShardSize != lease.ShardSize {
-		return fmt.Errorf("entry %q plans differently here (scenario %q, %d trials, %d shards of %d) than at the coordinator (%q, %d, %d, %d)",
+		return fmt.Errorf("entry %q plans differently here (scenario %q, %d trials, %d shards of %d) than at the registry (%q, %d, %d, %d)",
 			lease.Entry, plan.Scenario, plan.Trials, plan.NumShards, plan.ShardSize,
 			lease.Scenario, lease.Trials, lease.NumShards, lease.ShardSize)
 	}
 	if lease.ParamsDigest != "" && plan.ParamsDigest != "" && plan.ParamsDigest != lease.ParamsDigest {
-		return fmt.Errorf("entry %q params digest differs from the coordinator's — spec skew", lease.Entry)
+		return fmt.Errorf("entry %q params digest differs from the registry's — spec skew", lease.Entry)
 	}
 
 	// Renew the lease while the slice computes so slow slices are not
 	// stolen out from under a live executor.
-	stopRenew := make(chan struct{})
-	defer close(stopRenew)
+	renewCtx, stopRenew := context.WithCancel(ctx)
+	defer stopRenew()
 	renewEvery := time.Duration(lease.RenewMS) * time.Millisecond
 	if renewEvery <= 0 {
 		renewEvery = DefaultLeaseTimeout / 3
@@ -195,10 +319,10 @@ func runLease(client *http.Client, cfg ExecutorConfig, f *spec.File, byName map[
 		defer ticker.Stop()
 		for {
 			select {
-			case <-stopRenew:
+			case <-renewCtx.Done():
 				return
 			case <-ticker.C:
-				resp, err := client.Post(cfg.URL+pathRenew+"?lease="+lease.ID, "application/json", nil)
+				resp, err := e.post(renewCtx, e.cfg.URL+pathRenew+"?lease="+lease.ID, "application/json", nil)
 				if err == nil {
 					resp.Body.Close()
 				}
@@ -206,20 +330,22 @@ func runLease(client *http.Client, cfg ExecutorConfig, f *spec.File, byName map[
 		}
 	}()
 
-	logger.Printf("fabric: executor %s: executing %s slice %d/%d (%d shards)",
-		cfg.Name, lease.Entry, lease.Index, lease.Count, plan.Shards())
-	partial, err := campaign.Execute(b.Scenario, plan, campaign.ExecConfig{Workers: cfg.Workers})
+	e.log.Printf("fabric: executor %s: executing job %s %s slice %d/%d (%d shards)",
+		e.cfg.Name, lease.Job, lease.Entry, lease.Index, lease.Count, plan.Shards())
+	partial, err := campaign.Execute(b.Scenario, plan, campaign.ExecConfig{Workers: e.cfg.Workers})
 	if err != nil {
 		return err
 	}
-	if cfg.UploadDelay > 0 {
-		logger.Printf("fabric: executor %s: delaying upload of lease %s by %s", cfg.Name, lease.ID, cfg.UploadDelay)
-		time.Sleep(cfg.UploadDelay)
+	if e.cfg.UploadDelay > 0 {
+		e.log.Printf("fabric: executor %s: delaying upload of lease %s by %s", e.cfg.Name, lease.ID, e.cfg.UploadDelay)
+		if !sleepCtx(ctx, e.cfg.UploadDelay) {
+			return ctx.Err()
+		}
 	}
 
 	// Uploads travel gzip-compressed: the JSONL shard records are
 	// highly repetitive (upwards of 10:1 on sample-heavy slices), the
-	// coordinator stores the bytes verbatim, and OpenPartial sniffs the
+	// registry stores the bytes verbatim, and OpenPartial sniffs the
 	// gzip magic — so the compression is transparent end to end and a
 	// mixed fleet of old and new executors still merges.
 	var buf bytes.Buffer
@@ -230,7 +356,7 @@ func runLease(client *http.Client, cfg ExecutorConfig, f *spec.File, byName map[
 	if err := gz.Close(); err != nil {
 		return err
 	}
-	resp, err := client.Post(cfg.URL+pathUpload+"?lease="+lease.ID, "application/gzip", &buf)
+	resp, err := e.post(ctx, e.cfg.URL+pathUpload+"?lease="+lease.ID, "application/gzip", &buf)
 	if err != nil {
 		return err
 	}
@@ -244,11 +370,11 @@ func runLease(client *http.Client, cfg ExecutorConfig, f *spec.File, byName map[
 		return err
 	}
 	if reply.Accepted {
-		logger.Printf("fabric: executor %s: uploaded %s slice %d/%d", cfg.Name, lease.Entry, lease.Index, lease.Count)
+		e.log.Printf("fabric: executor %s: uploaded job %s %s slice %d/%d", e.cfg.Name, lease.Job, lease.Entry, lease.Index, lease.Count)
 	} else {
 		// Normal under work stealing: someone else finished first.
-		logger.Printf("fabric: executor %s: upload for %s slice %d/%d ignored (%s)",
-			cfg.Name, lease.Entry, lease.Index, lease.Count, reply.Reason)
+		e.log.Printf("fabric: executor %s: upload for job %s %s slice %d/%d ignored (%s)",
+			e.cfg.Name, lease.Job, lease.Entry, lease.Index, lease.Count, reply.Reason)
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"sync"
@@ -32,6 +34,17 @@ const twoKindDoc = `{
     {"name": "mbu", "kind": "mbusim",
      "params": {"events_per_kilobit": 4, "burst_bits": 6, "trials": 400}}
   ]
+}`
+
+// matrixDoc expands into two interleave cells whose artifact paths
+// carry a directory component ("page-sweep/depth=N").
+const matrixDoc = `{
+  "seed": 21, "shard_size": 64, "scenarios": [{
+    "name": "page-sweep", "kind": "interleave",
+    "params": {"burst_per_kilobit_hour": 0.5, "burst_bits": 9,
+               "horizon_hours": 24, "trials": 200},
+    "matrix": {"depth": [2, 4]}
+  }]
 }`
 
 // stopperDoc early-stops well before its requested trial count.
@@ -73,17 +86,17 @@ func singleProcess(t *testing.T, f *spec.File, built []*spec.Built) map[string]*
 	return want
 }
 
-// startCoordinator builds a coordinator over the doc and serves it.
-func startCoordinator(t *testing.T, doc string, slices int, leaseTimeout time.Duration, logBuf io.Writer) (*Coordinator, *httptest.Server, *spec.File, []*spec.Built) {
+// startRegistry builds a registry, submits doc as its only job (the
+// legacy single-spec shape: AutoMerge off, the test merges explicitly)
+// and marks the registry draining, then serves it. It returns the
+// job's namespace directory — where validated uploads land.
+func startRegistry(t *testing.T, doc string, slices int, leaseTimeout time.Duration, logBuf io.Writer) (*Registry, *httptest.Server, *spec.File, []*spec.Built, string) {
 	t.Helper()
 	f, built := buildSpec(t, doc)
 	if logBuf == nil {
 		logBuf = io.Discard
 	}
-	c, err := New(Config{
-		SpecBytes:    []byte(doc),
-		File:         f,
-		Built:        built,
+	reg, err := NewRegistry(RegistryConfig{
 		Dir:          t.TempDir(),
 		Slices:       slices,
 		LeaseTimeout: leaseTimeout,
@@ -92,12 +105,20 @@ func startCoordinator(t *testing.T, doc string, slices int, leaseTimeout time.Du
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(c.Handler())
+	st, err := reg.Submit([]byte(doc), SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State == JobFailed {
+		t.Fatalf("job failed validation: %s", st.Error)
+	}
+	reg.SetDraining(true)
+	srv := httptest.NewServer(reg.Handler())
 	t.Cleanup(srv.Close)
-	return c, srv, f, built
+	return reg, srv, f, built, st.Dir
 }
 
-// runExecutors runs n executors against the coordinator and waits for
+// runExecutors runs n executors against the registry and waits for
 // all of them to drain.
 func runExecutors(t *testing.T, url string, n int) {
 	t.Helper()
@@ -107,7 +128,7 @@ func runExecutors(t *testing.T, url string, n int) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = RunExecutor(ExecutorConfig{
+			errs[i] = RunExecutor(context.Background(), ExecutorConfig{
 				URL:  url,
 				Name: fmt.Sprintf("exec-%d", i),
 				Log:  log.New(io.Discard, "", 0),
@@ -122,23 +143,23 @@ func runExecutors(t *testing.T, url string, n int) {
 	}
 }
 
-// waitDone fails the test if the coordinator does not finish in time.
-func waitDone(t *testing.T, c *Coordinator) {
+// waitDone fails the test if the registry does not drain in time.
+func waitDone(t *testing.T, r *Registry) {
 	t.Helper()
 	select {
-	case <-c.Done():
+	case <-r.Done():
 	case <-time.After(2 * time.Minute):
-		st, _ := json.Marshal(c.Status())
+		st, _ := json.Marshal(r.Status())
 		t.Fatalf("campaign did not complete; status: %s", st)
 	}
 }
 
-// mergeAll folds the coordinator's directory into per-entry results.
-func mergeAll(t *testing.T, c *Coordinator, f *spec.File, built []*spec.Built) map[string]*campaign.Result {
+// mergeAll folds the job directory into per-entry results.
+func mergeAll(t *testing.T, dir string, f *spec.File, built []*spec.Built) map[string]*campaign.Result {
 	t.Helper()
 	got := make(map[string]*campaign.Result, len(built))
 	for _, b := range built {
-		res, err := b.MergePartials(f, c.Dir(), nil)
+		res, err := b.MergePartials(f, dir, nil)
 		if err != nil {
 			t.Fatalf("%s: merge: %v", b.Entry.Name, err)
 		}
@@ -147,26 +168,50 @@ func mergeAll(t *testing.T, c *Coordinator, f *spec.File, built []*spec.Built) m
 	return got
 }
 
-// TestFabricMatchesSingleProcess is the fabric's law: a coordinator
-// plus three concurrent executors produce partials whose merge is
+// TestFabricMatchesSingleProcess is the fabric's law: a registry plus
+// three concurrent executors produce partials whose merge is
 // bit-identical to the single-process run, for every entry.
 func TestFabricMatchesSingleProcess(t *testing.T) {
-	c, srv, f, built := startCoordinator(t, twoKindDoc, 4, time.Minute, nil)
+	r, srv, f, built, dir := startRegistry(t, twoKindDoc, 4, time.Minute, nil)
 	want := singleProcess(t, f, built)
 	runExecutors(t, srv.URL, 3)
-	waitDone(t, c)
-	got := mergeAll(t, c, f, built)
+	waitDone(t, r)
+	got := mergeAll(t, dir, f, built)
 	for name, w := range want {
 		if !reflect.DeepEqual(w, got[name]) {
 			t.Errorf("%s: fabric merge diverged:\nwant %+v\ngot  %+v", name, w, got[name])
 		}
 	}
-	st := c.Status()
+	st := r.Status()
 	if !st.Done {
 		t.Error("status not done after completion")
 	}
 	if st.Uploads == 0 {
 		t.Error("status reports zero accepted uploads")
+	}
+	if len(st.Jobs) != 1 || st.Jobs[0].State != JobDone {
+		t.Errorf("job status %+v, want one done job", st.Jobs)
+	}
+}
+
+// TestFabricMatrixCellsUploadIntoSubdir: matrix-cell entries have
+// artifact paths with a directory component, so their uploads land in
+// a subdirectory of the job namespace that only exists once the
+// registry creates it at upload time — a plain rename into it fails.
+func TestFabricMatrixCellsUploadIntoSubdir(t *testing.T) {
+	r, srv, f, built, dir := startRegistry(t, matrixDoc, 2, time.Minute, nil)
+	want := singleProcess(t, f, built)
+	runExecutors(t, srv.URL, 2)
+	waitDone(t, r)
+	got := mergeAll(t, dir, f, built)
+	for name, w := range want {
+		if !reflect.DeepEqual(w, got[name]) {
+			t.Errorf("%s: fabric merge diverged:\nwant %+v\ngot  %+v", name, w, got[name])
+		}
+	}
+	parts, err := filepath.Glob(filepath.Join(dir, "page-sweep", "*.part*"))
+	if err != nil || len(parts) == 0 {
+		t.Fatalf("no partials under the matrix-cell subdirectory (%v)", err)
 	}
 }
 
@@ -176,7 +221,7 @@ func TestFabricMatchesSingleProcess(t *testing.T) {
 // in-process version of the CI chaos job, race-detector friendly.
 func TestFabricStealsFromDeadExecutor(t *testing.T) {
 	var logBuf syncBuffer
-	c, srv, f, built := startCoordinator(t, twoKindDoc, 4, 500*time.Millisecond, &logBuf)
+	r, srv, f, built, dir := startRegistry(t, twoKindDoc, 4, 500*time.Millisecond, &logBuf)
 	want := singleProcess(t, f, built)
 
 	// The "dead" executor leases a slice and vanishes without renewing.
@@ -195,15 +240,15 @@ func TestFabricStealsFromDeadExecutor(t *testing.T) {
 	}
 
 	runExecutors(t, srv.URL, 1)
-	waitDone(t, c)
+	waitDone(t, r)
 
-	if st := c.Status(); st.Steals == 0 {
+	if st := r.Status(); st.Steals == 0 {
 		t.Error("status reports no steals despite an abandoned lease")
 	}
 	if !strings.Contains(logBuf.String(), "stolen") {
-		t.Error("coordinator log does not mention the stolen lease")
+		t.Error("registry log does not mention the stolen lease")
 	}
-	got := mergeAll(t, c, f, built)
+	got := mergeAll(t, dir, f, built)
 	for name, w := range want {
 		if !reflect.DeepEqual(w, got[name]) {
 			t.Errorf("%s: merge after steal diverged:\nwant %+v\ngot  %+v", name, w, got[name])
@@ -247,22 +292,22 @@ func TestFabricStealsFromDeadExecutor(t *testing.T) {
 }
 
 // TestFabricEarlyStopCancelsSlices: with a single executor pulling
-// slices in order, the coordinator decides the stop as soon as the
+// slices in order, the registry decides the stop as soon as the
 // covering slice uploads and cancels everything beyond it — the
 // cancelled slices are never executed, and the merge still lands on
 // the single-process result bit for bit.
 func TestFabricEarlyStopCancelsSlices(t *testing.T) {
-	c, srv, f, built := startCoordinator(t, stopperDoc, 8, time.Minute, nil)
+	r, srv, f, built, dir := startRegistry(t, stopperDoc, 8, time.Minute, nil)
 	want := singleProcess(t, f, built)
 	if !want["stopper"].EarlyStopped {
 		t.Fatal("reference run did not stop early; the fixture is mis-sized")
 	}
 
 	runExecutors(t, srv.URL, 1)
-	waitDone(t, c)
+	waitDone(t, r)
 
-	st := c.Status()
-	entry := st.Entries[0]
+	st := r.Status()
+	entry := st.Jobs[0].Entries[0]
 	if !entry.EarlyStopped {
 		t.Error("status does not report the early stop")
 	}
@@ -275,7 +320,10 @@ func TestFabricEarlyStopCancelsSlices(t *testing.T) {
 	if cancelled == 0 {
 		t.Error("no slices cancelled despite the early stop")
 	}
-	got := mergeAll(t, c, f, built)
+	if st.Jobs[0].SlicesCancelled != cancelled {
+		t.Errorf("job-level cancelled count %d disagrees with slices (%d)", st.Jobs[0].SlicesCancelled, cancelled)
+	}
+	got := mergeAll(t, dir, f, built)
 	if !reflect.DeepEqual(want["stopper"], got["stopper"]) {
 		t.Errorf("early-stopped fabric merge diverged:\nwant %+v\ngot  %+v", want["stopper"], got["stopper"])
 	}
@@ -290,7 +338,7 @@ func TestFabricRejectsBadUploads(t *testing.T) {
 	   "params": {"duplex": true, "lambda_bit_per_hour": 6e-4,
 	              "lambda_symbol_per_hour": 2e-4, "horizon_hours": 24,
 	              "trials": 200}}]}`
-	c, srv, f, built := startCoordinator(t, doc, 2, time.Minute, nil)
+	r, srv, f, built, _ := startRegistry(t, doc, 2, time.Minute, nil)
 	b := built[0]
 
 	lease := func() *Lease {
@@ -353,7 +401,7 @@ func TestFabricRejectsBadUploads(t *testing.T) {
 		t.Errorf("truncated upload: status %d, want %d", resp.StatusCode, http.StatusConflict)
 	}
 
-	if st := c.Status(); st.Rejected != 3 {
+	if st := r.Status(); st.Rejected != 3 {
 		t.Errorf("status counts %d rejected uploads, want 3", st.Rejected)
 	}
 
@@ -371,32 +419,32 @@ func TestFabricRejectsBadUploads(t *testing.T) {
 	}
 }
 
-// TestFabricAdoptsExistingPartials: a coordinator restarted over a
+// TestFabricAdoptsExistingPartials: a registry restarted over a
 // directory of completed uploads resumes done instead of recomputing.
 func TestFabricAdoptsExistingPartials(t *testing.T) {
 	var logBuf syncBuffer
-	c, srv, f, built := startCoordinator(t, twoKindDoc, 2, time.Minute, &logBuf)
+	r, srv, _, _, _ := startRegistry(t, twoKindDoc, 2, time.Minute, &logBuf)
 	runExecutors(t, srv.URL, 2)
-	waitDone(t, c)
+	waitDone(t, r)
 
-	c2, err := New(Config{
-		SpecBytes: []byte(twoKindDoc),
-		File:      f,
-		Built:     built,
-		Dir:       c.Dir(),
-		Slices:    2,
-		Log:       log.New(io.Discard, "", 0),
+	r2, err := NewRegistry(RegistryConfig{
+		Dir:    r.Dir(),
+		Slices: 2,
+		Log:    log.New(io.Discard, "", 0),
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	select {
-	case <-c2.Done():
-	default:
-		t.Fatal("restarted coordinator did not adopt the completed partials")
+	st2, err := r2.Submit([]byte(twoKindDoc), SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.State != JobDone {
+		t.Fatalf("restarted registry did not adopt the completed partials: job %s (%s)", st2.State, st2.Error)
 	}
 	adopted := 0
-	for _, e := range c2.Status().Entries {
+	full, _ := r2.Job(st2.ID)
+	for _, e := range full.Entries {
 		for _, s := range e.Slices {
 			if s.Adopted {
 				adopted++
@@ -407,16 +455,22 @@ func TestFabricAdoptsExistingPartials(t *testing.T) {
 		t.Error("no slice marked adopted after restart")
 	}
 
-	// A different slicing must refuse the leftover partials loudly.
-	if _, err := New(Config{
-		SpecBytes: []byte(twoKindDoc),
-		File:      f,
-		Built:     built,
-		Dir:       c.Dir(),
-		Slices:    3,
-		Log:       log.New(io.Discard, "", 0),
-	}); err == nil {
-		t.Error("coordinator with mismatched -slices accepted leftover partials")
+	// A different slicing must refuse the leftover partials loudly — as
+	// a failed job carrying the diagnosis.
+	r3, err := NewRegistry(RegistryConfig{
+		Dir:    r.Dir(),
+		Slices: 3,
+		Log:    log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st3, err := r3.Submit([]byte(twoKindDoc), SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.State != JobFailed || !strings.Contains(st3.Error, "leftover partial") {
+		t.Errorf("mismatched -slices job: state %s error %q, want failed on leftover partials", st3.State, st3.Error)
 	}
 }
 
@@ -428,16 +482,16 @@ func TestFabricEmptySlices(t *testing.T) {
 	   "params": {"duplex": true, "lambda_bit_per_hour": 6e-4,
 	              "lambda_symbol_per_hour": 2e-4, "horizon_hours": 24,
 	              "trials": 100}}]}`
-	c, srv, f, built := startCoordinator(t, doc, 8, time.Minute, nil)
+	r, srv, f, built, dir := startRegistry(t, doc, 8, time.Minute, nil)
 	want := singleProcess(t, f, built)
 	runExecutors(t, srv.URL, 2)
-	waitDone(t, c)
-	got := mergeAll(t, c, f, built)
+	waitDone(t, r)
+	got := mergeAll(t, dir, f, built)
 	if !reflect.DeepEqual(want["tiny"], got["tiny"]) {
 		t.Errorf("empty-slice merge diverged:\nwant %+v\ngot  %+v", want["tiny"], got["tiny"])
 	}
 	empty := 0
-	for _, s := range c.Status().Entries[0].Slices {
+	for _, s := range r.Status().Jobs[0].Entries[0].Slices {
 		if s.State == sliceEmpty {
 			empty++
 		}
@@ -465,13 +519,13 @@ func TestNamespace(t *testing.T) {
 // TestUploadTempFilesInvisible: a crashed upload's temp file must not
 // be picked up by the partial-file scan (its name has no .part).
 func TestUploadTempFilesInvisible(t *testing.T) {
-	c, srv, f, built := startCoordinator(t, twoKindDoc, 2, time.Minute, nil)
-	if err := os.WriteFile(c.Dir()+"/upload-stale.tmp", []byte("junk"), 0o644); err != nil {
+	r, srv, f, built, dir := startRegistry(t, twoKindDoc, 2, time.Minute, nil)
+	if err := os.WriteFile(dir+"/upload-stale.tmp", []byte("junk"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	runExecutors(t, srv.URL, 1)
-	waitDone(t, c)
-	got := mergeAll(t, c, f, built)
+	waitDone(t, r)
+	got := mergeAll(t, dir, f, built)
 	want := singleProcess(t, f, built)
 	for name, w := range want {
 		if !reflect.DeepEqual(w, got[name]) {
@@ -480,7 +534,7 @@ func TestUploadTempFilesInvisible(t *testing.T) {
 	}
 }
 
-// syncBuffer is a goroutine-safe bytes.Buffer for coordinator logs.
+// syncBuffer is a goroutine-safe bytes.Buffer for registry logs.
 type syncBuffer struct {
 	mu  sync.Mutex
 	buf bytes.Buffer

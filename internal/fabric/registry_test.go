@@ -1,0 +1,520 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"io/fs"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// secondDoc is a second, distinct spec so multi-job tests exercise two
+// namespaces and two digests from one registry.
+const secondDoc = `{"seed": 7, "shard_size": 64, "scenarios": [
+  {"name": "beta", "kind": "mbusim",
+   "params": {"events_per_kilobit": 3, "burst_bits": 4, "trials": 300}}]}`
+
+// postJobs submits spec bytes over the HTTP API.
+func postJobs(t *testing.T, url, token string, doc string) *JobStatus {
+	t.Helper()
+	st, err := SubmitJob(nil, url, token, []byte(doc))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	return st
+}
+
+// TestRegistryMultiJobSharedPool is the tentpole's law: two specs
+// submitted to one registry, drained by one shared 3-executor pool,
+// both server-side merges produce artifact trees byte-identical to
+// unpartitioned runs — and at least one executor demonstrably leased
+// work from both jobs.
+func TestRegistryMultiJobSharedPool(t *testing.T) {
+	var logBuf syncBuffer
+	reg, err := NewRegistry(RegistryConfig{
+		Dir:        t.TempDir(),
+		Slices:     4,
+		DrainAfter: 2,
+		Log:        log.New(&logBuf, "", 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	jobA := postJobs(t, srv.URL, "", twoKindDoc)
+	jobB := postJobs(t, srv.URL, "", secondDoc)
+	if jobA.ID == jobB.ID {
+		t.Fatal("distinct specs mapped to one job ID")
+	}
+	// Idempotent resubmission: same bytes, same job, no duplicate.
+	if again := postJobs(t, srv.URL, "", twoKindDoc); again.ID != jobA.ID {
+		t.Errorf("resubmission created a new job %s, want %s", again.ID, jobA.ID)
+	}
+	if jobs, err := ListJobs(nil, srv.URL); err != nil || len(jobs) != 2 {
+		t.Fatalf("ListJobs: %d jobs (%v), want 2", len(jobs), err)
+	}
+
+	runExecutors(t, srv.URL, 3)
+	waitDone(t, reg)
+
+	for _, id := range []string{jobA.ID, jobB.ID} {
+		st, ok := reg.Job(id)
+		if !ok || st.State != JobDone {
+			t.Fatalf("job %s: state %+v, want done", id, st)
+		}
+		// The server-side merge must write artifact trees byte-identical
+		// to an unpartitioned run of the same spec.
+		doc := twoKindDoc
+		if id == jobB.ID {
+			doc = secondDoc
+		}
+		f, built := buildSpec(t, doc)
+		refDir := t.TempDir()
+		for _, b := range built {
+			res, err := campaign.Run(b.Scenario, b.EngineConfig(f))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := b.WriteArtifacts(refDir, res); err != nil {
+				t.Fatal(err)
+			}
+		}
+		compareTrees(t, refDir, st.OutDir)
+	}
+
+	// Cross-job leasing: at least one executor must have drawn leases
+	// from both jobs — the point of a shared pool.
+	leasedBy := make(map[string]map[string]bool)
+	for _, line := range strings.Split(logBuf.String(), "\n") {
+		if !strings.Contains(line, ": leased ") {
+			continue
+		}
+		var job, exec string
+		fields := strings.Fields(line)
+		for i, tok := range fields {
+			if tok == "job" && i+1 < len(fields) {
+				job = strings.TrimSuffix(fields[i+1], ":")
+			}
+			if tok == "to" && i+1 < len(fields) {
+				exec = fields[i+1]
+			}
+		}
+		if job == "" || exec == "" {
+			continue
+		}
+		if leasedBy[exec] == nil {
+			leasedBy[exec] = make(map[string]bool)
+		}
+		leasedBy[exec][job] = true
+	}
+	cross := false
+	for _, jobs := range leasedBy {
+		if jobs[jobA.ID] && jobs[jobB.ID] {
+			cross = true
+		}
+	}
+	if !cross {
+		t.Errorf("no executor leased from both jobs; leases per executor: %v", leasedBy)
+	}
+}
+
+// compareTrees asserts dirs got and want hold byte-identical files.
+func compareTrees(t *testing.T, want, got string) {
+	t.Helper()
+	err := filepath.WalkDir(want, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		rel, _ := filepath.Rel(want, path)
+		wb, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		gb, err := os.ReadFile(filepath.Join(got, rel))
+		if err != nil {
+			return fmt.Errorf("missing artifact %s: %w", rel, err)
+		}
+		if !bytes.Equal(wb, gb) {
+			return fmt.Errorf("artifact %s differs from the unpartitioned run", rel)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRegistryAuth: a tenanted registry requires bearer tokens on
+// every mutating endpoint, resolves tokens to owning tenants, and
+// keeps read endpoints open.
+func TestRegistryAuth(t *testing.T) {
+	reg, err := NewRegistry(RegistryConfig{
+		Dir: t.TempDir(),
+		Tenants: []Tenant{
+			{Name: "alice", Token: "tok-a"},
+			{Name: "bob", Token: "tok-b"},
+		},
+		Log: log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	// Mutating endpoints without (or with a bad) token: 401.
+	for _, probe := range []struct{ method, path string }{
+		{http.MethodPost, "/jobs"},
+		{http.MethodPost, pathLease},
+		{http.MethodPost, pathRenew + "?lease=L1"},
+		{http.MethodPost, pathUpload + "?lease=L1"},
+	} {
+		req, _ := http.NewRequest(probe.method, srv.URL+probe.path, strings.NewReader("{}"))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Errorf("%s %s without token: status %d, want 401", probe.method, probe.path, resp.StatusCode)
+		}
+		req, _ = http.NewRequest(probe.method, srv.URL+probe.path, strings.NewReader("{}"))
+		req.Header.Set("Authorization", "Bearer wrong")
+		resp, err = http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Errorf("%s %s with bad token: status %d, want 401", probe.method, probe.path, resp.StatusCode)
+		}
+	}
+
+	// A valid token submits, and the job is owned by the token's tenant.
+	st := postJobs(t, srv.URL, "tok-a", twoKindDoc)
+	if st.Tenant != "alice" {
+		t.Errorf("job tenant %q, want alice", st.Tenant)
+	}
+
+	// Reads stay open: no token needed to list or inspect.
+	if _, err := ListJobs(nil, srv.URL); err != nil {
+		t.Errorf("unauthenticated ListJobs: %v", err)
+	}
+	if _, err := FetchStatus(nil, srv.URL); err != nil {
+		t.Errorf("unauthenticated status: %v", err)
+	}
+
+	// Only the owner may delete.
+	if err := DeleteJob(nil, JobURL(srv.URL, st.ID), "tok-b"); err == nil {
+		t.Error("bob deleted alice's job")
+	}
+	if err := DeleteJob(nil, JobURL(srv.URL, st.ID), "tok-a"); err != nil {
+		t.Errorf("alice deleting her own job: %v", err)
+	}
+}
+
+// TestRegistryQuota: a tenant at its concurrent-lease quota is skipped
+// — the next lease goes to another tenant's job, never a second slice
+// of the capped tenant's — and once only the capped tenant has work
+// left the registry answers 204, not a quota-busting lease.
+func TestRegistryQuota(t *testing.T) {
+	reg, err := NewRegistry(RegistryConfig{
+		Dir:    t.TempDir(),
+		Slices: 2,
+		Tenants: []Tenant{
+			{Name: "alice", Token: "tok-a", MaxLeases: 1},
+			{Name: "bob", Token: "tok-b"},
+		},
+		Log: log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Submit([]byte(twoKindDoc), SubmitOptions{Tenant: "alice", AutoMerge: true}); err != nil {
+		t.Fatal(err)
+	}
+	stB, err := reg.Submit([]byte(secondDoc), SubmitOptions{Tenant: "bob", AutoMerge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var grants []string // owning tenant per successive grant
+	for {
+		reply := reg.grantLease("probe")
+		if reply == nil {
+			break
+		}
+		if reply.Done {
+			t.Fatal("registry reported done mid-test")
+		}
+		js, _ := reg.Job(reply.Lease.Job)
+		grants = append(grants, js.Tenant)
+		if len(grants) > 16 {
+			t.Fatal("runaway grants; quota not enforced")
+		}
+	}
+	aliceLeases := 0
+	for _, tenant := range grants {
+		if tenant == "alice" {
+			aliceLeases++
+		}
+	}
+	// alice holds at most MaxLeases=1 concurrent slice; bob (unlimited)
+	// got every slice of his job. With work remaining only behind
+	// alice's quota, the loop ended on nil — the 204.
+	if aliceLeases != 1 {
+		t.Errorf("alice granted %d concurrent leases, want exactly 1 (quota)", aliceLeases)
+	}
+	bobSlices := 0
+	if full, ok := reg.Job(stB.ID); ok {
+		bobSlices = full.SlicesLeased
+	}
+	if got := len(grants) - aliceLeases; got != bobSlices || bobSlices == 0 {
+		t.Errorf("bob leased %d grants but holds %d slices", got, bobSlices)
+	}
+
+	// The HTTP layer surfaces the quota-blocked state as 204.
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	body, _ := json.Marshal(leaseRequest{Executor: "probe"})
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+pathLease, bytes.NewReader(body))
+	req.Header.Set("Authorization", "Bearer tok-b")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Errorf("quota-blocked lease: status %d, want 204", resp.StatusCode)
+	}
+}
+
+// TestRegistryDeleteRunningJob: deleting a running job invalidates its
+// leases (the zombie's late upload is refused), cancels its slices
+// without re-queueing anything, and leaves the other job schedulable.
+func TestRegistryDeleteRunningJob(t *testing.T) {
+	reg, err := NewRegistry(RegistryConfig{
+		Dir:    t.TempDir(),
+		Slices: 2,
+		Log:    log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	doomed := postJobs(t, srv.URL, "", twoKindDoc)
+	other := postJobs(t, srv.URL, "", secondDoc)
+
+	// Lease one slice of the doomed job (fair-share starts there).
+	reply := reg.grantLease("zombie")
+	if reply == nil || reply.Lease == nil || reply.Lease.Job != doomed.ID {
+		t.Fatalf("first grant %+v, want a %s lease", reply, doomed.ID)
+	}
+	zombieLease := reply.Lease
+
+	if err := DeleteJob(nil, JobURL(srv.URL, doomed.ID), ""); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := reg.Job(doomed.ID)
+	if st.State != JobFailed {
+		t.Errorf("deleted job state %s, want failed", st.State)
+	}
+	if st.SlicesPending != 0 || st.SlicesLeased != 0 {
+		t.Errorf("deleted job still schedulable: %+v", st)
+	}
+
+	// Nothing of the deleted job is re-queued: every further grant
+	// belongs to the surviving job.
+	for {
+		reply := reg.grantLease("prober")
+		if reply == nil {
+			break
+		}
+		if reply.Lease.Job == doomed.ID {
+			t.Fatalf("deleted job's slice re-leased: %+v", reply.Lease)
+		}
+		if reply.Lease.Job != other.ID {
+			t.Fatalf("unexpected job %s leased", reply.Lease.Job)
+		}
+	}
+
+	// The zombie executor finishes its slice and uploads — refused.
+	f, built := buildSpec(t, twoKindDoc)
+	var b = built[0]
+	for _, bb := range built {
+		if bb.Entry.Name == zombieLease.Entry {
+			b = bb
+		}
+	}
+	plan, err := campaign.NewPlan(b.Scenario, zombieLease.ShardSize,
+		campaign.Partition{Index: zombieLease.Index, Count: zombieLease.Count})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.ParamsDigest = b.EngineConfig(f).ParamsDigest
+	partial, err := campaign.Execute(b.Scenario, plan, campaign.ExecConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := partial.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+pathUpload+"?lease="+zombieLease.ID, "application/jsonl", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var up uploadReply
+	if err := json.NewDecoder(resp.Body).Decode(&up); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if up.Accepted {
+		t.Error("zombie upload against a deleted job was accepted")
+	}
+
+	// Deleting a terminal job is refused (409 via ErrJobTerminal).
+	if err := DeleteJob(nil, JobURL(srv.URL, doomed.ID), ""); err == nil {
+		t.Error("second delete of a terminal job succeeded")
+	}
+}
+
+// TestRegistryStatusMultiJob: /status carries one section per job —
+// including a job that failed validation, whose Error explains why —
+// and the per-job slice counts add up.
+func TestRegistryStatusMultiJob(t *testing.T) {
+	reg, err := NewRegistry(RegistryConfig{
+		Dir:    t.TempDir(),
+		Slices: 2,
+		Log:    log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	good := postJobs(t, srv.URL, "", twoKindDoc)
+	bad := postJobs(t, srv.URL, "", `{"scenarios": [{"name": "x", "kind": "no-such-kind"}]}`)
+	if bad.State != JobFailed || bad.Error == "" {
+		t.Fatalf("invalid spec submitted as %s (error %q), want a failed job with a diagnosis", bad.State, bad.Error)
+	}
+
+	st, err := FetchStatus(nil, srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Jobs) != 2 {
+		t.Fatalf("status has %d jobs, want 2", len(st.Jobs))
+	}
+	byID := make(map[string]JobStatus)
+	for _, j := range st.Jobs {
+		byID[j.ID] = j
+	}
+	g := byID[good.ID]
+	if g.State != JobPending || g.SlicesPending == 0 {
+		t.Errorf("good job status %+v, want pending with pending slices", g)
+	}
+	if total := g.SlicesPending + g.SlicesLeased + g.SlicesDone + g.SlicesCancelled; total > 2*len(g.Entries) {
+		t.Errorf("slice counts %d exceed %d slices", total, 2*len(g.Entries))
+	}
+	bs := byID[bad.ID]
+	if bs.State != JobFailed || bs.Error == "" {
+		t.Errorf("failed job not reported in status: %+v", bs)
+	}
+
+	// The failed job never blocks draining.
+	reply := reg.grantLease("e")
+	if reply == nil || reply.Lease == nil || reply.Lease.Job != good.ID {
+		t.Fatalf("grant %+v, want the good job's lease", reply)
+	}
+}
+
+// TestExecutorBackoffJitter pins the retry-hygiene contract: delays
+// grow exponentially toward the cap, every delay is jittered within
+// [d/2, d], and reset() restarts the ladder.
+func TestExecutorBackoffJitter(t *testing.T) {
+	b := newBackoff(100*time.Millisecond, 2*time.Second)
+	var ds []time.Duration
+	for i := 0; i < 8; i++ {
+		ds = append(ds, b.next())
+	}
+	want := []time.Duration{100, 200, 400, 800, 1600, 2000, 2000, 2000}
+	for i, d := range ds {
+		hi := want[i] * time.Millisecond
+		if d < hi/2 || d > hi {
+			t.Errorf("delay %d = %s outside [%s, %s]", i, d, hi/2, hi)
+		}
+	}
+	b.reset()
+	if d := b.next(); d > 100*time.Millisecond {
+		t.Errorf("after reset, delay %s exceeds the base", d)
+	}
+}
+
+// TestExecutorContextCancellation: a cancelled context stops an
+// executor that is backing off against an unreachable registry.
+func TestExecutorContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- RunExecutor(ctx, ExecutorConfig{
+			URL:  "http://127.0.0.1:1", // nothing listens here
+			Name: "cancelled",
+			Log:  log.New(io.Discard, "", 0),
+		})
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errCh:
+		if err == nil || !strings.Contains(err.Error(), "context canceled") {
+			t.Errorf("executor returned %v, want context cancellation", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("executor did not honor the cancelled context")
+	}
+}
+
+// TestExecutorRejectedToken: an executor with a bad token fails fast
+// instead of retrying a request that can never succeed.
+func TestExecutorRejectedToken(t *testing.T) {
+	reg, err := NewRegistry(RegistryConfig{
+		Dir:     t.TempDir(),
+		Tenants: []Tenant{{Name: "alice", Token: "tok-a"}},
+		Log:     log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	start := time.Now()
+	err = RunExecutor(context.Background(), ExecutorConfig{
+		URL:   srv.URL,
+		Name:  "imposter",
+		Token: "wrong",
+		Log:   log.New(io.Discard, "", 0),
+	})
+	if err == nil || !strings.Contains(err.Error(), "token") {
+		t.Errorf("executor with bad token returned %v, want a token error", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("bad-token executor retried instead of failing fast")
+	}
+}

@@ -28,7 +28,7 @@ const weightedDoc = `{"seed": 11, "shard_size": 256, "scenarios": [{
 // bit-identical to the single-process run, weighted early stop
 // re-decision included, and the uploads land gzip-compressed at rest.
 func TestFabricWeightedMatchesSingleProcess(t *testing.T) {
-	c, srv, f, built := startCoordinator(t, weightedDoc, 4, time.Minute, nil)
+	r, srv, f, built, dir := startRegistry(t, weightedDoc, 4, time.Minute, nil)
 	want := singleProcess(t, f, built)
 	if !want["rare"].EarlyStopped {
 		t.Fatal("want a weighted early-stopping reference run")
@@ -37,30 +37,32 @@ func TestFabricWeightedMatchesSingleProcess(t *testing.T) {
 		t.Fatal("reference run carries no weight moments")
 	}
 	runExecutors(t, srv.URL, 3)
-	waitDone(t, c)
-	got := mergeAll(t, c, f, built)
+	waitDone(t, r)
+	got := mergeAll(t, dir, f, built)
 	if !reflect.DeepEqual(want["rare"], got["rare"]) {
 		t.Errorf("weighted fabric merge diverged:\nwant %+v\ngot  %+v", want["rare"], got["rare"])
 	}
 
-	// Early stop must have been decided by the coordinator, not just
-	// the merge: with the stop rule firing well before 30000 trials,
-	// some slices past the stopping shard must have been cancelled.
-	st := c.Status()
+	// Early stop must have been decided by the registry, not just the
+	// merge: with the stop rule firing well before 30000 trials, some
+	// slices past the stopping shard must have been cancelled.
+	st := r.Status()
 	cancelled := 0
-	for _, e := range st.Entries {
-		for _, s := range e.Slices {
-			if s.State == sliceCancelled {
-				cancelled++
+	for _, jb := range st.Jobs {
+		for _, e := range jb.Entries {
+			for _, s := range e.Slices {
+				if s.State == sliceCancelled {
+					cancelled++
+				}
 			}
 		}
 	}
 	if cancelled == 0 {
-		t.Error("coordinator cancelled no slices despite a weighted early stop")
+		t.Error("registry cancelled no slices despite a weighted early stop")
 	}
 
 	// Uploaded partials are stored compressed at rest.
-	parts, err := filepath.Glob(filepath.Join(c.Dir(), "*.part*"))
+	parts, err := filepath.Glob(filepath.Join(dir, "*.part*"))
 	if err != nil || len(parts) == 0 {
 		t.Fatalf("no stored partials (%v)", err)
 	}
